@@ -1,0 +1,92 @@
+"""E6 — Theorem 1 / Bound 1: the e^{−k·Ω(min(ε³, ε²p_h))} settlement error.
+
+Sweeps the confirmation depth k and compares three independent numbers:
+
+* the exact optimal-adversary violation probability (Section 6.6 DP),
+* the Theorem 1 computable bound (Bound 1 tail with prefix correction),
+* a Monte-Carlo estimate of the same probability.
+
+Shape assertions: bound ≥ exact ≈ MC everywhere; both decay
+exponentially; the bound's decay rate tracks min(ε³, ε²p_h).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.bounds import (
+    theorem1_asymptotic_rate,
+    theorem1_settlement_bound,
+)
+from repro.analysis.exact import compute_settlement_probabilities
+from repro.analysis.montecarlo import estimate_settlement_violation
+from repro.core.distributions import bernoulli_condition
+
+SWEEP_DEPTHS = [20, 40, 80, 160]
+
+
+@pytest.mark.parametrize("epsilon,p_unique", [(0.4, 0.4), (0.3, 0.1)])
+def test_bound_dominates_exact_across_sweep(benchmark, epsilon, p_unique):
+    probabilities = bernoulli_condition(epsilon, p_unique)
+
+    def sweep():
+        exact = compute_settlement_probabilities(probabilities, SWEEP_DEPTHS)
+        bounds = {
+            k: theorem1_settlement_bound(epsilon, p_unique, k)
+            for k in SWEEP_DEPTHS
+        }
+        return exact, bounds
+
+    exact, bounds = benchmark(sweep)
+
+    for k in SWEEP_DEPTHS:
+        assert bounds[k] >= exact[k], (k, bounds[k], exact[k])
+    # exponential decay of the exact probability
+    tail = [exact[k] for k in SWEEP_DEPTHS]
+    assert all(later < earlier for earlier, later in zip(tail, tail[1:]))
+    ratio_1 = exact[40] / exact[20]
+    ratio_2 = exact[160] / exact[80]
+    assert ratio_2 <= ratio_1 * 1.5  # at least geometric
+    benchmark.extra_info["exact"] = {k: f"{exact[k]:.3E}" for k in SWEEP_DEPTHS}
+    benchmark.extra_info["bound"] = {k: f"{bounds[k]:.3E}" for k in SWEEP_DEPTHS}
+
+
+def test_monte_carlo_sits_on_exact(benchmark):
+    epsilon, p_unique, depth = 0.35, 0.3, 30
+    probabilities = bernoulli_condition(epsilon, p_unique)
+    rng = random.Random(99)
+
+    estimate = benchmark.pedantic(
+        estimate_settlement_violation,
+        args=(probabilities, depth, 3000, rng),
+        rounds=1,
+        iterations=1,
+    )
+
+    exact = compute_settlement_probabilities(probabilities, [depth])[depth]
+    assert estimate.within(exact, sigmas=4)
+    benchmark.extra_info["exact"] = f"{exact:.4f}"
+    benchmark.extra_info["monte_carlo"] = f"{estimate.value:.4f}"
+
+
+def test_rate_shape_min_of_two_regimes(benchmark):
+    """The decay rate behaves like ε³ for ample p_h and like ε²p_h for
+    scarce p_h — the paper's headline min(ε³, ε²p_h)."""
+
+    def rates():
+        ample = [
+            theorem1_asymptotic_rate(eps, (1 + eps) / 2) for eps in (0.2, 0.4)
+        ]
+        scarce = [
+            theorem1_asymptotic_rate(0.4, q) for q in (0.04, 0.02, 0.01)
+        ]
+        return ample, scarce
+
+    ample, scarce = benchmark(rates)
+
+    # epsilon-cubed regime: rate grows ~8x when epsilon doubles
+    assert ample[1] / ample[0] == pytest.approx(8.0, rel=0.6)
+    # scarce regime: rate roughly halves with p_h
+    assert scarce[0] / scarce[1] == pytest.approx(2.0, rel=0.4)
+    assert scarce[1] / scarce[2] == pytest.approx(2.0, rel=0.4)

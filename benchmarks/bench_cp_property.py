@@ -1,0 +1,79 @@
+"""E9 — Theorem 8: common-prefix violations via UVP-free windows.
+
+Measures the rate of sampled strings whose every length-k window is
+certified by a UVP slot (so k-CP^slot holds), against the T·e^{−Ω(k)}
+union bound, for both the standard and the consistent-tie-breaking UVP
+notions.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.bounds import (
+    theorem8_cp_bound,
+    theorem8_cp_bound_consistent,
+)
+from repro.analysis.cp import estimate_cp_violation_rate, uvp_free_windows
+from repro.core.distributions import bernoulli_condition, bivalent_condition
+
+
+def test_cp_bound_vs_measured_rate(benchmark):
+    epsilon, p_unique = 0.5, 0.5
+    probabilities = bernoulli_condition(epsilon, p_unique)
+    total_length, depth = 150, 30
+    rng = random.Random(77)
+
+    rate = benchmark.pedantic(
+        estimate_cp_violation_rate,
+        args=(probabilities, total_length, depth, 600, rng),
+        rounds=1,
+        iterations=1,
+    )
+
+    bound = theorem8_cp_bound(total_length, epsilon, p_unique, depth)
+    assert bound >= rate - 0.05
+    benchmark.extra_info["measured"] = f"{rate:.4f}"
+    benchmark.extra_info["bound"] = f"{bound:.4f}"
+
+
+def test_cp_bound_scales_linearly_in_length(benchmark):
+    epsilon, p_unique, depth = 0.4, 0.4, 80
+
+    def bounds():
+        return [
+            theorem8_cp_bound(t, epsilon, p_unique, depth)
+            for t in (100, 1000, 10000)
+        ]
+
+    values = benchmark(bounds)
+    assert values == sorted(values)
+    if values[1] < 1.0:
+        assert values[1] == pytest.approx(values[0] * 10, rel=1e-6)
+
+
+def test_consistent_windows_on_bivalent_strings(benchmark):
+    """With p_h = 0 only the A0′ notion certifies CP windows at all."""
+    probabilities = bivalent_condition(0.4)
+    rng = random.Random(31)
+
+    def measure():
+        from repro.core.distributions import sample_characteristic_string
+
+        plain_hits = consistent_hits = 0
+        trials = 300
+        for _ in range(trials):
+            word = sample_characteristic_string(probabilities, 120, rng)
+            if not uvp_free_windows(word, 25, consistent=False):
+                plain_hits += 1
+            if not uvp_free_windows(word, 25, consistent=True):
+                consistent_hits += 1
+        return plain_hits / trials, consistent_hits / trials
+
+    plain, consistent = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    assert plain == 0.0  # no uniquely honest slots: no plain UVP certificates
+    assert consistent > 0.05  # consecutive Catalan pairs do certify strings
+    bound = theorem8_cp_bound_consistent(120, 0.4, 25)
+    benchmark.extra_info["certified_fraction"] = f"{consistent:.3f}"
+    benchmark.extra_info["bound"] = f"{bound:.3f}"

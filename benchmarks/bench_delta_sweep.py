@@ -1,0 +1,65 @@
+"""E8 — Theorem 7: the Δ-synchronous settlement error.
+
+Sweeps the delay bound Δ for Praos-like parameters (activity f = 0.05)
+and reports the reduced honest-majority margin ε′, the Theorem 7 bound,
+and a Monte-Carlo violation rate on reduced strings.  Shape assertions:
+ε′ shrinks and the bound grows with Δ; the bound dominates the measured
+rate; the (1 + Δ)·ε/(1 − ε) additive penalty is visible as a roughly
+geometric bound inflation per unit of Δ.
+"""
+
+import random
+
+import pytest
+
+from repro.core.distributions import semi_synchronous_condition
+from repro.delta.reduction import reduced_epsilon
+from repro.delta.settlement import (
+    estimate_violation_rate,
+    theorem7_error_bound,
+)
+
+ACTIVITY = 0.05
+P_ADVERSARIAL = 0.005
+P_UNIQUE = 0.04
+DELTAS = [0, 2, 4, 8]
+
+
+def test_delta_sweep_bounds(benchmark):
+    probabilities = semi_synchronous_condition(
+        ACTIVITY, P_ADVERSARIAL, P_UNIQUE
+    )
+
+    def sweep():
+        epsilons = [reduced_epsilon(probabilities, d) for d in DELTAS]
+        bounds = [
+            theorem7_error_bound(probabilities, 600, d) for d in DELTAS
+        ]
+        return epsilons, bounds
+
+    epsilons, bounds = benchmark(sweep)
+
+    assert epsilons == sorted(epsilons, reverse=True)
+    assert bounds == sorted(bounds)
+    assert bounds[0] < 0.05  # synchronous-ish: strong guarantee
+    benchmark.extra_info["epsilon_prime"] = [f"{e:.4f}" for e in epsilons]
+    benchmark.extra_info["theorem7_bound"] = [f"{b:.3E}" for b in bounds]
+
+
+@pytest.mark.parametrize("delta", [0, 4])
+def test_bound_dominates_measured_rate(benchmark, delta):
+    probabilities = semi_synchronous_condition(0.08, 0.004, 0.06)
+    slot, depth = 50, 80
+    rng = random.Random(12345 + delta)
+
+    rate = benchmark.pedantic(
+        estimate_violation_rate,
+        args=(probabilities, slot, depth, delta, 250, 250, rng),
+        rounds=1,
+        iterations=1,
+    )
+
+    bound = theorem7_error_bound(probabilities, depth, delta)
+    assert bound >= rate - 0.05
+    benchmark.extra_info["measured_rate"] = f"{rate:.4f}"
+    benchmark.extra_info["bound"] = f"{bound:.4f}"

@@ -1,0 +1,46 @@
+"""E2 — Figure 1: the example fork for w = hAhAhHAAH.
+
+Reconstructs the paper's example fork exactly, validates the fork axioms
+and the figure's stated properties (three disjoint maximum-length tines,
+two concurrent honest vertices at slots 6 and 9, strictly increasing
+honest depths), and benchmarks fork construction + validation.
+"""
+
+from repro.core.forks import figure_1_fork
+from repro.core.reach import max_reach
+from repro.core.margin import margin_of_fork
+
+
+def build_and_validate():
+    fork = figure_1_fork()
+    fork.validate()
+    return fork
+
+
+def test_figure_1_reconstruction(benchmark):
+    fork = benchmark(build_and_validate)
+
+    assert fork.word == "hAhAhHAAH"
+    # three disjoint paths of maximum depth (figure caption)
+    longest = fork.maximum_length_tines()
+    assert len(longest) == 3
+    # two honest vertices at slots 6 and 9 (concurrent honest leaders)
+    assert len(fork.vertices_with_label(6)) == 2
+    assert len(fork.vertices_with_label(9)) == 2
+    # honest depths strictly increase (axiom F4 / figure caption)
+    labels = sorted(
+        {v.label for v in fork.honest_vertices() if v.label > 0}
+    )
+    depths = [fork.honest_depth(label) for label in labels]
+    assert depths == sorted(set(depths))
+
+    benchmark.extra_info["vertices"] = len(fork.vertices())
+    benchmark.extra_info["height"] = fork.height
+    benchmark.extra_info["max_reach"] = max_reach(fork)
+    benchmark.extra_info["margin"] = margin_of_fork(fork, 0)
+
+
+def test_figure_1_rendering(benchmark):
+    fork = figure_1_fork()
+    art = benchmark(fork.to_ascii)
+    assert "(6)" in art and "(9)" in art and "[8]" in art

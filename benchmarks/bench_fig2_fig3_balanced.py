@@ -1,0 +1,51 @@
+"""E3/E4 — Figures 2 and 3: balanced and x-balanced forks.
+
+Reconstructs both figure forks, checks balance exactly as defined
+(Definition 18), and benchmarks the general Fact 6 constructor that
+builds (x-)balanced forks from non-negative relative margins.
+"""
+
+from repro.core.balanced import (
+    build_x_balanced_fork,
+    figure_2_fork,
+    figure_3_fork,
+    is_balanced,
+    is_x_balanced,
+)
+from repro.core.margin import relative_margin
+
+
+def test_figure_2_balanced_fork(benchmark):
+    fork = benchmark(figure_2_fork)
+    fork.validate()
+    assert fork.word == "hAhAhA"
+    assert is_balanced(fork)
+    # the two maximal tines split at genesis: slot-1 settlement violation
+    assert relative_margin("hAhAhA", 0) >= 0
+    benchmark.extra_info["height"] = fork.height
+
+
+def test_figure_3_x_balanced_fork(benchmark):
+    fork = benchmark(figure_3_fork)
+    fork.validate()
+    assert fork.word == "hhhAhA"
+    assert is_x_balanced(fork, 2)
+    assert not is_balanced(fork)
+    assert relative_margin("hhhAhA", 2) >= 0
+    # and the prefix x = hh itself is settled: no balance over it
+    assert relative_margin("hhhAhA", 0) < 0
+    benchmark.extra_info["height"] = fork.height
+
+
+def test_general_constructor_matches_figures(benchmark):
+    """Fact 6 constructively on both figure strings."""
+
+    def construct():
+        return (
+            build_x_balanced_fork("hAhAhA", 0),
+            build_x_balanced_fork("hhhAhA", 2),
+        )
+
+    balanced, x_balanced = benchmark(construct)
+    assert balanced is not None and is_x_balanced(balanced, 0)
+    assert x_balanced is not None and is_x_balanced(x_balanced, 2)

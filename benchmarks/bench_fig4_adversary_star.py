@@ -1,0 +1,53 @@
+"""E5 — Figure 4: the optimal online adversary A*.
+
+Runs A* over long random characteristic strings, verifying Theorem 6
+(the produced fork attains ρ(w) and μ_x(y) for every prefix split) on a
+sample of splits, and benchmarks the online fork-building throughput.
+"""
+
+import random
+
+import pytest
+
+from repro.core.adversary_star import build_canonical_fork
+from repro.core.distributions import (
+    bernoulli_condition,
+    sample_characteristic_string,
+)
+from repro.core.margin import margin_of_fork, relative_margin
+from repro.core.reach import max_reach, rho
+
+
+@pytest.mark.parametrize("length", [50, 150, 400])
+def test_adversary_star_throughput(benchmark, length):
+    rng = random.Random(1000 + length)
+    probabilities = bernoulli_condition(0.2, 0.3)
+    word = sample_characteristic_string(probabilities, length, rng)
+
+    fork = benchmark(build_canonical_fork, word)
+
+    assert max_reach(fork) == rho(word)
+    # canonicality spot-checks across the string
+    for prefix_length in range(0, length + 1, max(length // 8, 1)):
+        assert margin_of_fork(fork, prefix_length) == relative_margin(
+            word, prefix_length
+        )
+    benchmark.extra_info["vertices"] = len(fork.vertices())
+
+
+def test_adversary_star_attacks_all_slots(benchmark):
+    """A single canonical fork witnesses every slot's settlement status."""
+    rng = random.Random(7)
+    probabilities = bernoulli_condition(0.1, 0.2)
+    word = sample_characteristic_string(probabilities, 120, rng)
+
+    fork = benchmark(build_canonical_fork, word)
+
+    unsettled = [
+        s
+        for s in range(1, len(word) + 1)
+        if relative_margin(word, s - 1) >= 0
+    ]
+    for slot in unsettled:
+        assert margin_of_fork(fork, slot - 1) >= 0
+    benchmark.extra_info["unsettled_slots"] = len(unsettled)

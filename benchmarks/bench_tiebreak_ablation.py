@@ -1,0 +1,79 @@
+"""E7 — Theorem 2: consistent tie-breaking rescues the p_h → 0 regime.
+
+Two layers of evidence:
+
+* analytical — as p_h → 0 the Theorem 1 bound (axiom A0) degrades toward
+  triviality while the Theorem 2 bound (axiom A0′) is unaffected, with
+  the crossover where the paper predicts;
+* operational — a protocol-level split attack that exploits multiply
+  honest slots causes deep reorganisations under first-arrival
+  tie-breaking and collapses under the consistent hash rule.
+"""
+
+import pytest
+
+from repro.analysis.bounds import (
+    theorem1_settlement_bound,
+    theorem2_settlement_bound,
+)
+from repro.protocol.adversary import SplitAdversary
+from repro.protocol.leader import StakeDistribution
+from repro.protocol.simulation import Simulation
+from repro.protocol.tiebreak import consistent_hash_rule
+
+
+def test_theorem2_wins_as_unique_mass_vanishes(benchmark):
+    epsilon, depth = 0.4, 150
+
+    def compare():
+        degraded = [
+            theorem1_settlement_bound(epsilon, p_unique, depth)
+            for p_unique in (0.2, 0.05, 0.01, 0.002)
+        ]
+        consistent = theorem2_settlement_bound(epsilon, depth)
+        return degraded, consistent
+
+    degraded, consistent = benchmark(compare)
+
+    # Theorem 1's guarantee decays monotonically as p_h vanishes …
+    assert degraded == sorted(degraded)
+    # … ends up effectively trivial …
+    assert degraded[-1] > 0.5
+    # … while Theorem 2 stays strong with p_h = 0 outright.
+    assert consistent < 0.25
+    benchmark.extra_info["theorem1_at_ph"] = [f"{v:.3f}" for v in degraded]
+    benchmark.extra_info["theorem2"] = f"{consistent:.3f}"
+
+
+@pytest.mark.parametrize("rule_name", ["adversarial", "consistent"])
+def test_split_attack_under_rule(benchmark, rule_name):
+    """Protocol-level ablation; compare max reorg depth across rules."""
+    stakes = StakeDistribution.uniform(10, 0)
+
+    def run_attack():
+        total_reorg = 0
+        violations = 0
+        for seed in range(3):
+            kwargs = dict(
+                stakes=stakes,
+                activity=0.8,  # dense slots: many concurrent honest leaders
+                total_slots=70,
+                adversary=SplitAdversary(),
+                randomness=f"ablation-{seed}",
+            )
+            if rule_name == "consistent":
+                kwargs["tie_break"] = consistent_hash_rule
+            result = Simulation(**kwargs).run()
+            total_reorg += result.max_reorg_depth()
+            violations += result.settlement_violation(5, 10)
+        return total_reorg, violations
+
+    total_reorg, _violations = benchmark.pedantic(
+        run_attack, rounds=1, iterations=1
+    )
+    benchmark.extra_info["total_reorg_depth"] = total_reorg
+    # consistent rule keeps reorgs trivial; adversarial order does not
+    if rule_name == "consistent":
+        assert total_reorg <= 6
+    else:
+        assert total_reorg >= 6

@@ -1,0 +1,94 @@
+"""Attacks that exploit concurrent honest slot leaders, live.
+
+Two protocol-level demonstrations on the executable substrate:
+
+* the **split attack** — with no adversarial stake at all, a rushing
+  network scheduler uses multiply honest slots to keep the network in
+  two equal-length branches under first-arrival tie-breaking (axiom A0),
+  and fails to do so under the consistent rule (axiom A0′);
+* the **private-chain double spend** — a 40%-stake coalition forks
+  before a target slot, waits out the victim's confirmation depth and
+  releases a longer chain; we measure the empirical success rate and
+  compare with the exact optimal-adversary probability.
+
+Run:  python examples/concurrent_leaders_attack.py
+"""
+
+from repro import Simulation, StakeDistribution
+from repro.analysis.exact import settlement_violation_probability
+from repro.core.distributions import SlotProbabilities
+from repro.protocol.adversary import PrivateChainAdversary, SplitAdversary
+from repro.protocol.leader import induced_slot_probabilities
+from repro.protocol.tiebreak import consistent_hash_rule
+
+
+def split_attack() -> None:
+    print("=== Split attack: zero stake, pure message scheduling ===")
+    stakes = StakeDistribution.uniform(10, 0)
+    for label, rule in (
+        ("A0  (first arrival — adversary breaks ties)", None),
+        ("A0' (consistent hash rule)", consistent_hash_rule),
+    ):
+        reorgs = 0
+        multi_slots = 0
+        for seed in range(5):
+            kwargs = dict(
+                stakes=stakes,
+                activity=0.8,
+                total_slots=80,
+                adversary=SplitAdversary(),
+                randomness=f"split-{seed}",
+            )
+            if rule is not None:
+                kwargs["tie_break"] = rule
+            result = Simulation(**kwargs).run()
+            reorgs += result.max_reorg_depth()
+            multi_slots += result.characteristic_string.count("H")
+        print(
+            f"  {label}: cumulative max-reorg depth {reorgs:3d}"
+            f"  (over {multi_slots} multiply honest slots)"
+        )
+    print("  -> consistent tie-breaking neutralises the H-slot attack\n")
+
+
+def private_chain_double_spend() -> None:
+    print("=== Private-chain double spend (40% stake, k = 4) ===")
+    stakes = StakeDistribution.uniform(6, 4)
+    activity = 0.4
+    target, depth = 10, 4
+
+    wins = 0
+    trials = 20
+    for seed in range(trials):
+        adversary = PrivateChainAdversary(
+            target_slot=target, hold=depth, patience=60
+        )
+        result = Simulation(
+            stakes,
+            activity,
+            total_slots=90,
+            adversary=adversary,
+            randomness=f"double-spend-{seed}",
+        ).run()
+        if result.settlement_violation(target, depth):
+            wins += 1
+    observed = wins / trials
+
+    induced = induced_slot_probabilities(stakes, activity)
+    scale = 1.0 / induced.activity
+    synchronous = SlotProbabilities(
+        induced.p_unique * scale,
+        induced.p_multi * scale,
+        induced.p_adversarial * scale,
+    )
+    optimal = settlement_violation_probability(synchronous, depth)
+    print(f"  induced per-active-slot law: p_h = {synchronous.p_unique:.3f},"
+          f" p_H = {synchronous.p_multi:.3f}, p_A = {synchronous.p_adversarial:.3f}")
+    print(f"  empirical success rate:      {observed:.2f}  ({wins}/{trials})")
+    print(f"  optimal-adversary bound:     {optimal:.3f}")
+    print("  -> the concrete attacker stays below the exact optimum\n")
+
+
+if __name__ == "__main__":
+    split_attack()
+    private_chain_double_spend()

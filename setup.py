@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs in offline environments.
+
+The canonical build configuration lives in pyproject.toml; this file exists
+because PEP 660 editable installs require the `wheel` package, which may be
+absent in air-gapped environments.  `python setup.py develop` works with
+setuptools alone.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — Consistency of PoS blockchains with concurrent honest slot leaders.
+
+A from-scratch Python reproduction of Kiayias, Quader and Russell,
+*"Consistency of Proof-of-Stake Blockchains with Concurrent Honest Slot
+Leaders"* (ICDCS 2020, arXiv:2001.06403): the multi-leader fork
+framework, Catalan slots and the Unique Vertex Property, the relative
+margin recurrence with the exact settlement-probability algorithm
+(Table 1), the generating-function error bounds, the Δ-synchronous
+reduction, and an executable PoS longest-chain protocol with rushing
+adversaries that the combinatorial model is validated against.
+
+Quick start::
+
+    from repro import settlement_violation_probability, from_adversarial_stake
+
+    params = from_adversarial_stake(alpha=0.20, unique_fraction=0.8)
+    risk = settlement_violation_probability(params, k=100)
+    # exact Pr[a slot is not 100-settled]  ≈ 5.1e-8 (Table 1)
+
+See README.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core.adversary_star import AdversaryStar, build_canonical_fork
+from repro.core.alphabet import CharacteristicString
+from repro.core.catalan import catalan_slots, is_catalan
+from repro.core.distributions import (
+    SlotProbabilities,
+    bernoulli_condition,
+    bivalent_condition,
+    from_adversarial_stake,
+    semi_synchronous_condition,
+)
+from repro.core.forks import Fork, Tine, Vertex
+from repro.core.margin import margin, relative_margin
+from repro.core.reach import rho
+from repro.core.settlement import is_k_settled, settlement_time
+from repro.core.uvp import has_uvp, uvp_slots
+from repro.analysis.exact import (
+    settlement_table,
+    settlement_violation_probability,
+)
+from repro.analysis.bounds import (
+    theorem1_settlement_bound,
+    theorem2_settlement_bound,
+    theorem7_settlement_bound,
+    theorem8_cp_bound,
+)
+from repro.delta.reduction import reduce_string
+from repro.protocol.leader import StakeDistribution
+from repro.protocol.simulation import Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversaryStar",
+    "CharacteristicString",
+    "Fork",
+    "Simulation",
+    "SlotProbabilities",
+    "StakeDistribution",
+    "Tine",
+    "Vertex",
+    "bernoulli_condition",
+    "bivalent_condition",
+    "build_canonical_fork",
+    "catalan_slots",
+    "from_adversarial_stake",
+    "has_uvp",
+    "is_catalan",
+    "is_k_settled",
+    "margin",
+    "reduce_string",
+    "relative_margin",
+    "rho",
+    "semi_synchronous_condition",
+    "settlement_table",
+    "settlement_time",
+    "settlement_violation_probability",
+    "theorem1_settlement_bound",
+    "theorem2_settlement_bound",
+    "theorem7_settlement_bound",
+    "theorem8_cp_bound",
+    "uvp_slots",
+]

@@ -1,0 +1,270 @@
+"""Exact k-settlement violation probabilities (the Section 6.6 algorithm).
+
+The paper's Theorem 5 recurrence makes the pair
+
+    state_t = ( ρ(x y_1…y_t),  μ_x(y_1…y_t) )
+
+a Markov chain over ``{(r, m) : r ≥ 0, m ≤ r}`` when the symbols of ``y``
+are i.i.d.; the probability that slot ``|x| + 1`` incurs a k-settlement
+violation is ``Pr[μ_x(y) ≥ 0]`` at ``|y| = k`` (Fact 6 / Lemma 1).  The
+initial state is ``(ρ(x), ρ(x))``; for ``|x| → ∞`` the reach ``ρ(x)`` is
+distributed as the dominating geometric law X_∞ of Eq. (9).  Table 1 of
+the paper tabulates these probabilities; this module regenerates them.
+
+Exactness of the finite grid
+----------------------------
+
+The DP state space is truncated to ``r ∈ [0, R]``, ``m ∈ [−k_max, R]``
+with ``R = k_max + 2``.  The truncation is *exact* (not an approximation)
+for horizons ``t ≤ k_max``:
+
+* the margin transition depends on ``r`` only through the predicate
+  ``r = 0``; once ``r`` hits the cap ``R``, the remaining ``t ≤ k_max``
+  steps can lower it by at most ``k_max``, so ``r ≥ 2 > 0`` throughout —
+  capped states behave identically to their uncapped counterparts;
+* the sign of the margin at a checkpoint is all that matters, and a
+  capped margin satisfies ``m ≥ R − k_max = 2 > 0`` for the remaining
+  horizon, as does the (larger) true margin;
+* the margin can fall at most one per step, so ``m ≥ −k_max`` always
+  (the initial margin ``ρ(x)`` is non-negative);
+* initial X_∞ mass at or above the cap (total ``β^R``) is placed in the
+  absorbing corner ``(R, R)`` — correct because any initial reach
+  ``r₀ ≥ R > k_max`` makes every checkpoint a certain violation
+  (``m ≥ r₀ − k ≥ 0``).
+
+Everything else is plain float64 convolution; the subtractive boundary
+corrections cancel exactly in floating point (a value is subtracted from
+itself), so no catastrophic cancellation occurs even for probabilities
+near 1e-300.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distributions import SlotProbabilities, from_adversarial_stake
+from repro.core.walks import stationary_reach_ratio
+
+
+@dataclass(frozen=True)
+class SettlementComputation:
+    """Result of one DP run: violation probabilities at each checkpoint.
+
+    ``probabilities[k]`` is the exact probability that slot ``|x| + 1`` is
+    not k-settled (margin non-negative at suffix length ``k``) under the
+    configured slot distribution and initial-reach model.
+    """
+
+    slot_probabilities: SlotProbabilities
+    prefix_model: str
+    probabilities: dict[int, float]
+
+    def __getitem__(self, k: int) -> float:
+        return self.probabilities[k]
+
+
+def settlement_violation_probability(
+    probabilities: SlotProbabilities,
+    k: int,
+    prefix_length: int | None = None,
+) -> float:
+    """``Pr[slot |x|+1 is not k-settled]`` for one horizon.
+
+    ``prefix_length=None`` uses the |x| → ∞ model (initial reach ~ X_∞,
+    as in Table 1); an integer uses the exact reach distribution of a
+    length-``prefix_length`` i.i.d. prefix.
+    """
+    computation = compute_settlement_probabilities(
+        probabilities, [k], prefix_length=prefix_length
+    )
+    return computation[k]
+
+
+def compute_settlement_probabilities(
+    probabilities: SlotProbabilities,
+    checkpoints: list[int],
+    prefix_length: int | None = None,
+) -> SettlementComputation:
+    """Run the joint (reach, margin) DP, reading out each checkpoint.
+
+    One DP sweep to ``max(checkpoints)`` serves every requested ``k``:
+    the grid is sized for the largest horizon, which only widens the cap
+    (the exactness argument needs ``R > k`` for each read-out, and
+    ``R = k_max + 2 > k`` holds for all of them).
+    """
+    if probabilities.p_empty:
+        raise ValueError(
+            "empty slots are not part of the synchronous model; reduce the "
+            "string first via repro.delta.reduction"
+        )
+    if not checkpoints or min(checkpoints) < 1:
+        raise ValueError("checkpoints must be positive suffix lengths")
+    k_max = max(checkpoints)
+    wanted = set(checkpoints)
+
+    grid = _initial_grid(probabilities, k_max, prefix_length)
+    p_h = probabilities.p_unique
+    p_bigh = probabilities.p_multi
+    p_adv = probabilities.p_adversarial
+
+    results: dict[int, float] = {}
+    for t in range(1, k_max + 1):
+        grid = (
+            p_adv * _adversarial_step(grid)
+            + p_h * _honest_step(grid, k_max, unique=True)
+            + p_bigh * _honest_step(grid, k_max, unique=False)
+        )
+        if t in wanted:
+            results[t] = _violation_mass(grid, k_max)
+
+    model = "x->infinity" if prefix_length is None else f"|x|={prefix_length}"
+    return SettlementComputation(probabilities, model, results)
+
+
+def _grid_shape(k_max: int) -> tuple[int, int]:
+    """Rows index reach ``r ∈ [0, R]``; columns index ``m ∈ [−k_max, R]``."""
+    cap = k_max + 2
+    return cap + 1, k_max + cap + 1
+
+
+def _initial_grid(
+    probabilities: SlotProbabilities,
+    k_max: int,
+    prefix_length: int | None,
+) -> np.ndarray:
+    rows, cols = _grid_shape(k_max)
+    cap = rows - 1
+    offset = k_max  # column index of m == 0
+    grid = np.zeros((rows, cols))
+
+    if prefix_length is None:
+        beta = stationary_reach_ratio(probabilities.epsilon)
+        for r in range(cap):
+            grid[r, offset + r] = (1.0 - beta) * beta**r
+        grid[cap, offset + cap] = beta**cap  # absorbed tail: certain violation
+    else:
+        reach_pmf = _prefix_reach_pmf(probabilities, prefix_length, cap)
+        for r in range(cap):
+            grid[r, offset + r] = reach_pmf[r]
+        grid[cap, offset + cap] = max(1.0 - reach_pmf[:cap].sum(), 0.0)
+    return grid
+
+
+def _prefix_reach_pmf(
+    probabilities: SlotProbabilities, length: int, cap: int
+) -> np.ndarray:
+    """Distribution of ρ(x) for an i.i.d. prefix of given length.
+
+    The reach recurrence is a reflected walk: +1 on ``A`` (probability
+    p_A), max(·−1, 0) on honest symbols.  Mass at or above ``cap`` is
+    accumulated in the top cell (same saturation argument as the joint
+    grid).
+    """
+    p_adv = probabilities.p_adversarial
+    p_honest = probabilities.p_honest
+    pmf = np.zeros(cap + 1)
+    pmf[0] = 1.0
+    for _ in range(length):
+        nxt = np.zeros_like(pmf)
+        nxt[1:] += p_adv * pmf[:-1]
+        nxt[-1] += p_adv * pmf[-1]
+        nxt[:-1] += p_honest * pmf[1:]
+        nxt[0] += p_honest * pmf[0]
+        pmf = nxt
+    return pmf
+
+
+def _adversarial_step(grid: np.ndarray) -> np.ndarray:
+    """Transition on ``A``: (r, m) → (r + 1, m + 1), saturating at the cap."""
+    out = np.zeros_like(grid)
+    out[1:, 1:] = grid[:-1, :-1]
+    out[-1, 1:] += grid[-1, :-1]
+    out[1:, -1] += grid[:-1, -1]
+    out[-1, -1] += grid[-1, -1]
+    return out
+
+
+def _honest_step(grid: np.ndarray, k_max: int, unique: bool) -> np.ndarray:
+    """Transition on ``h`` (unique) or ``H`` (multi); Theorem 5, Eq. (14).
+
+    Generic motion is (r, m) → (max(r − 1, 0), m − 1); the m = 0 column is
+    then corrected: with r > 0 the margin stays at 0 for both symbols,
+    with r = 0 it stays at 0 only for ``H``.
+    """
+    offset = k_max  # column of m == 0
+    colshift = np.zeros_like(grid)
+    colshift[:, :-1] = grid[:, 1:]
+
+    out = np.zeros_like(grid)
+    out[:-1, :] += colshift[1:, :]
+    out[0, :] += colshift[0, :]
+
+    # m == 0, r > 0: margin stays 0 (was shifted to m = −1 above).
+    out[:-1, offset - 1] -= grid[1:, offset]
+    out[:-1, offset] += grid[1:, offset]
+    if not unique:
+        # m == 0, r == 0, symbol H: margin stays 0 as well.
+        out[0, offset - 1] -= grid[0, offset]
+        out[0, offset] += grid[0, offset]
+    return out
+
+
+def _violation_mass(grid: np.ndarray, k_max: int) -> float:
+    """``Pr[m ≥ 0]`` — total mass in the non-negative margin columns."""
+    return float(grid[:, k_max:].sum())
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+
+#: Column parameters of Table 1: adversarial probability α = Pr[A].
+TABLE1_ALPHAS = (0.01, 0.10, 0.20, 0.30, 0.40, 0.49)
+#: Row-group parameters: Pr[h] / (1 − α), the uniquely honest fraction.
+TABLE1_UNIQUE_FRACTIONS = (1.0, 0.9, 0.8, 0.5, 0.25, 0.01)
+#: Row parameters within each group: settlement depths k.
+TABLE1_DEPTHS = (100, 200, 300, 400, 500)
+
+
+def settlement_table(
+    alphas: tuple[float, ...] = TABLE1_ALPHAS,
+    unique_fractions: tuple[float, ...] = TABLE1_UNIQUE_FRACTIONS,
+    depths: tuple[int, ...] = TABLE1_DEPTHS,
+) -> dict[tuple[float, float, int], float]:
+    """Regenerate (a sub-grid of) Table 1.
+
+    Keys are ``(unique_fraction, alpha, k)``; values are exact
+    k-settlement violation probabilities with |x| → ∞ initial reach.
+    One DP run per (fraction, alpha) pair serves all depths.
+    """
+    table: dict[tuple[float, float, int], float] = {}
+    for fraction in unique_fractions:
+        for alpha in alphas:
+            probabilities = from_adversarial_stake(alpha, fraction)
+            computation = compute_settlement_probabilities(
+                probabilities, list(depths)
+            )
+            for k in depths:
+                table[(fraction, alpha, k)] = computation[k]
+    return table
+
+
+def format_table(table: dict[tuple[float, float, int], float]) -> str:
+    """Render a :func:`settlement_table` result in the paper's layout."""
+    fractions = sorted({key[0] for key in table}, reverse=True)
+    alphas = sorted({key[1] for key in table})
+    depths = sorted({key[2] for key in table})
+    lines = []
+    header = "frac   k   " + "  ".join(f"α={alpha:<8.2f}" for alpha in alphas)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for fraction in fractions:
+        for k in depths:
+            cells = "  ".join(
+                f"{table[(fraction, alpha, k)]:10.2E}" for alpha in alphas
+            )
+            lines.append(f"{fraction:<5.2f} {k:4d} {cells}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,318 @@
+"""Truncated power-series engine for the Section 5 generating functions.
+
+The proofs of Bounds 1 and 2 manipulate ordinary generating functions of
+biased-walk stopping times:
+
+* ``D(Z) = (1 − sqrt(1 − 4pqZ²)) / (2pZ)`` — first *descent* of the
+  ε-biased walk (a probability generating function, ``D(1) = 1``);
+* ``A(Z) = (1 − sqrt(1 − 4pqZ²)) / (2qZ)`` — first *ascent*
+  (defective: ``A(1) = p/q`` by gambler's ruin);
+* compositions such as ``A(Z · D(Z))`` ("ascend, then descend as many
+  levels as the ascent took steps"), the dominating series ``Ĉ(Z)`` of
+  Bound 1 and ``M̂(Z)`` of Bound 2, and the prefix correction
+  ``X_∞(D(Z))``.
+
+Series are represented as numpy coefficient arrays ``c[0..N]`` truncated
+at a caller-chosen order.  Closed-form coefficients are used where the
+paper provides them (Catalan numbers for ``D`` and ``A``); compositions
+and rational forms are evaluated by exact truncated convolution, so the
+coefficient arrays are the true series coefficients up to the truncation
+order — which is what turns the paper's dominance arguments into
+computable tail bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.walks import bias_probabilities, stationary_reach_ratio
+
+
+def series_multiply(left: np.ndarray, right: np.ndarray, order: int) -> np.ndarray:
+    """Product of two truncated series, truncated/padded to ``order + 1`` terms."""
+    product = np.convolve(left[: order + 1], right[: order + 1])[: order + 1]
+    if len(product) < order + 1:
+        product = np.pad(product, (0, order + 1 - len(product)))
+    return product
+
+
+def series_power(base: np.ndarray, exponent: int, order: int) -> np.ndarray:
+    """``base**exponent`` truncated to ``order`` terms (square-and-multiply)."""
+    result = np.zeros(order + 1)
+    result[0] = 1.0
+    factor = base[: order + 1].copy()
+    e = exponent
+    while e > 0:
+        if e & 1:
+            result = series_multiply(result, factor, order)
+        e >>= 1
+        if e:
+            factor = series_multiply(factor, factor, order)
+    return result
+
+
+def series_compose(outer: np.ndarray, inner: np.ndarray, order: int) -> np.ndarray:
+    """``outer(inner(Z))`` truncated to ``order`` terms.
+
+    Requires ``inner[0] == 0`` (compositions in the paper always have
+    this: the inner series are walk lengths, which take ≥ 1 step).
+    Horner evaluation: O(order) series multiplications.
+    """
+    if abs(inner[0]) > 0:
+        raise ValueError("series composition requires inner[0] == 0")
+    result = np.zeros(order + 1)
+    for coefficient in outer[order::-1] if len(outer) > order else outer[::-1]:
+        result = series_multiply(result, inner, order)
+        result[0] += coefficient
+    return result
+
+
+def series_inverse_one_minus(series: np.ndarray, order: int) -> np.ndarray:
+    """``1 / (1 − series)`` truncated to ``order`` terms.
+
+    Requires ``series[0] == 0``; computed by the standard recurrence for
+    reciprocal power series.
+    """
+    if abs(series[0]) > 0:
+        raise ValueError("1/(1 - f) expansion requires f[0] == 0")
+    result = np.zeros(order + 1)
+    result[0] = 1.0
+    f = series[: order + 1]
+    for n in range(1, order + 1):
+        top = min(n, len(f) - 1)
+        result[n] = float(np.dot(f[1 : top + 1], result[n - 1 :: -1][:top]))
+    return result
+
+
+def catalan_number(n: int) -> int:
+    """The n-th Catalan number ``C_n`` (the footnote-2 namesake)."""
+    return math.comb(2 * n, n) // (n + 1)
+
+
+def descent_series(epsilon: float, order: int) -> np.ndarray:
+    """Coefficients of ``D(Z)`` up to ``order``.
+
+    ``D`` has only odd-power terms: ``d_{2i+1} = C_i p^i q^{i+1}`` — the
+    walk must take ``2i + 1`` steps (i up, i + 1 down) with ballot-style
+    ordering counted by the Catalan number.  Computed by the ratio
+    recurrence ``C_{i+1}/C_i = 2(2i + 1)/(i + 2)`` entirely in floats
+    (the Catalan numbers themselves overflow float64 near i ≈ 500, while
+    the coefficients ``C_i (pq)^i`` stay bounded).
+    """
+    p, q = bias_probabilities(epsilon)
+    series = np.zeros(order + 1)
+    coefficient = q  # d_1 = C_0 q
+    for i in range(0, (order - 1) // 2 + 1):
+        series[2 * i + 1] = coefficient
+        coefficient *= 2.0 * (2 * i + 1) / (i + 2) * p * q
+    return series
+
+
+def ascent_series(epsilon: float, order: int) -> np.ndarray:
+    """Coefficients of ``A(Z)``: ``a_{2i+1} = C_i q^i p^{i+1}``.
+
+    Defective: the total mass is ``A(1) = p/q < 1``.  Same float-safe
+    ratio recurrence as :func:`descent_series`.
+    """
+    p, q = bias_probabilities(epsilon)
+    series = np.zeros(order + 1)
+    coefficient = p  # a_1 = C_0 p
+    for i in range(0, (order - 1) // 2 + 1):
+        series[2 * i + 1] = coefficient
+        coefficient *= 2.0 * (2 * i + 1) / (i + 2) * p * q
+    return series
+
+
+def z_times(series: np.ndarray, order: int) -> np.ndarray:
+    """Multiply a series by ``Z`` (shift coefficients up by one)."""
+    shifted = np.zeros(order + 1)
+    shifted[1:] = series[:order]
+    return shifted
+
+
+def ascent_of_z_descent(epsilon: float, order: int) -> np.ndarray:
+    """``A(Z · D(Z))`` — ascend, then descend that many levels (Section 5.1)."""
+    descent = descent_series(epsilon, order)
+    inner = z_times(descent, order)
+    outer = ascent_series(epsilon, order)
+    return series_compose(outer, inner, order)
+
+
+def bound1_dominating_series(
+    epsilon: float, q_unique: float, order: int
+) -> np.ndarray:
+    """``Ĉ(Z)`` of Eq. (3): dominates the first-uniquely-honest-Catalan time.
+
+    ``Ĉ(Z) = (q_h ε / q) Z / (1 − F(Z))`` with
+    ``F(Z) = pZD(Z) + q_h Z A(ZD(Z)) + q_H Z``.
+    A probability generating function: coefficients are non-negative and
+    sum to 1 (checked in tests).
+    """
+    p, q = bias_probabilities(epsilon)
+    if not 0 <= q_unique <= q + 1e-12:
+        raise ValueError(f"q_h = {q_unique} outside [0, q = {q}]")
+    q_multi = q - q_unique
+
+    descent = descent_series(epsilon, order)
+    f_series = (
+        p * z_times(descent, order)
+        + q_unique * z_times(ascent_of_z_descent(epsilon, order), order)
+    )
+    f_series[1] += q_multi  # the q_H · Z term
+    geometric = series_inverse_one_minus(f_series, order)
+    lead = np.zeros(order + 1)
+    lead[1] = q_unique * epsilon / q
+    return series_multiply(lead, geometric, order)
+
+
+def bound2_dominating_series(epsilon: float, order: int) -> np.ndarray:
+    """``M̂(Z)`` of Section 5.2: dominates the first consecutive-Catalan pair.
+
+    The renewal structure of the search is (Section 5.2)
+
+        ``M(Z) = D(Z) · {ε + (1 − ε) E(Z) M(Z)}``,
+
+    which solves to ``M = εD / (1 − (1 − ε) · D · E)``.  (The paper's
+    Eq. (10) prints ``εD/(1 − (1 − ε)E)``, dropping the leading ``D`` of
+    the recursive branch — an algebra slip: with it, the series fails to
+    dominate the true first-pair time already at t = 3, where the true
+    coefficient is ``ε·d₃``.  The corrected form is used here and verified
+    against Monte Carlo in the tests.)  The epoch surrogate is
+    ``Ê(Z) = pZD(Z) + qZ A(ZD(Z)) / A(1) ⪰ E``.
+    """
+    p, q = bias_probabilities(epsilon)
+    descent = descent_series(epsilon, order)
+    ascent_composed = ascent_of_z_descent(epsilon, order)
+    epoch = p * z_times(descent, order) + (q / (p / q)) * z_times(
+        ascent_composed, order
+    )
+    recursive_branch = (1.0 - epsilon) * series_multiply(descent, epoch, order)
+    geometric = series_inverse_one_minus(recursive_branch, order)
+    return epsilon * series_multiply(descent, geometric, order)
+
+
+def stationary_prefix_correction(epsilon: float, order: int) -> np.ndarray:
+    """``X_∞(D(Z)) = (1 − β) / (1 − β D(Z))`` (the |x| ≥ 1 case).
+
+    Composing the geometric initial-reach law with descent times converts
+    a "start at the running minimum" bound into a "start anywhere after a
+    long prefix" bound.
+    """
+    beta = stationary_reach_ratio(epsilon)
+    descent = descent_series(epsilon, order)
+    geometric = series_inverse_one_minus(beta * descent, order)
+    return (1.0 - beta) * geometric
+
+
+def tail_sum(series: np.ndarray, k: int) -> float:
+    """``Σ_{t ≥ k} c_t`` — truncated-series tail (may under-count).
+
+    Only the first ``len(series)`` coefficients contribute; use
+    :func:`probability_tail` for probability generating functions, where
+    the total mass is known to be exactly 1 and the tail can be computed
+    without truncation loss.
+    """
+    if k <= 0:
+        return float(series.sum())
+    if k >= len(series):
+        return 0.0
+    return float(series[k:].sum())
+
+
+def probability_tail(series: np.ndarray, k: int) -> float:
+    """``Pr[T ≥ k]`` for a PGF's coefficient series, in every regime.
+
+    The dominating series Ĉ, M̂ and their prefix-corrected versions are
+    probability generating functions by construction (their defining
+    renewal equations conserve mass), so ``1 − Σ_{t<k} c_t`` is the exact
+    tail — but in float64 it floors out near machine epsilon (≈ 2e−16).
+    The direct partial sum ``Σ_{t ≥ k} c_t`` over the truncated series is
+    instead accurate for fast-decaying (tiny) tails but under-counts
+    slow-decaying ones.  Both are ≤ the true tail, so their maximum is
+    the best available estimate and correct in both regimes; callers
+    supply a truncation order of ``k`` plus a few decay lengths.
+    """
+    if k <= 0:
+        return 1.0
+    head = float(series[: min(k, len(series))].sum())
+    complement = min(max(1.0 - head, 0.0), 1.0)
+    partial = float(series[k:].sum()) if k < len(series) else 0.0
+    if complement > 1e-12:
+        # Large/slow-decay regime: 1 − head is exact and the truncated
+        # partial sum may under-count; the complement dominates anyway.
+        return min(max(complement, partial), 1.0)
+    # Tiny-tail regime: 1 − head is pure cancellation noise (≈ machine
+    # epsilon); the partial sum is accurate because tails this small decay
+    # within the truncation slack.
+    return min(partial, 1.0)
+
+
+def radius_bound_r1(epsilon: float) -> float:
+    """``R₁`` of Eq. (5): convergence radius of ``A(ZD(Z))``.
+
+    ``R₁ = sqrt((2/sqrt(1 − ε²) − 1/(1 + ε)) / (1 + ε))
+        = 1 + ε³/2 + O(ε⁴)``.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    inner = 2.0 / math.sqrt(1.0 - epsilon * epsilon) - 1.0 / (1.0 + epsilon)
+    return math.sqrt(inner / (1.0 + epsilon))
+
+
+def evaluate_f(epsilon: float, q_unique: float, z: float, order: int = 400) -> float:
+    """Numeric value of ``F(z)`` (Bound 1's denominator series) at real z."""
+    p, q = bias_probabilities(epsilon)
+    q_multi = q - q_unique
+    if 4 * p * q * z * z >= 1.0:
+        raise ValueError(f"D(z) diverges at z = {z}")
+    descent = (1.0 - math.sqrt(1.0 - 4 * p * q * z * z)) / (2 * p * z)
+    x = z * descent
+    if 4 * p * q * x * x >= 1.0:
+        raise ValueError(f"A(zD(z)) diverges at z = {z}")
+    ascent_at = (1.0 - math.sqrt(1.0 - 4 * p * q * x * x)) / (2 * q * x)
+    return p * z * descent + q_unique * z * ascent_at + q_multi * z
+
+
+def radius_bound_r2(epsilon: float, q_unique: float) -> float:
+    """``R₂``: the positive solution of ``F(z) = 1`` (bisection).
+
+    Returns ``R₁`` when ``F`` stays below 1 on the whole convergence
+    interval (the ``q_H = 0`` case of the paper).
+    """
+    r1 = radius_bound_r1(epsilon)
+    low, high = 1.0, r1 * (1.0 - 1e-12)
+    try:
+        f_high = evaluate_f(epsilon, q_unique, high)
+    except ValueError:
+        f_high = float("inf")
+    if f_high < 1.0:
+        return r1
+    if evaluate_f(epsilon, q_unique, low) >= 1.0:
+        return 1.0
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        try:
+            value = evaluate_f(epsilon, q_unique, mid)
+        except ValueError:
+            value = float("inf")
+        if value < 1.0:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def bound1_decay_rate(epsilon: float, q_unique: float) -> float:
+    """``ln R`` with ``R = min(R₁, R₂)`` — Bound 1's exponential rate.
+
+    The paper shows ``R = exp(Θ(min(ε³, ε² q_h)))``; the returned value is
+    the exact logarithm of the dominating series' convergence radius.
+    """
+    return math.log(min(radius_bound_r1(epsilon), radius_bound_r2(epsilon, q_unique)))
+
+
+def bound2_decay_rate(epsilon: float) -> float:
+    """``ln R₁`` — Bound 2's exponential rate ``ε³(1 + O(ε))/2``."""
+    return math.log(radius_bound_r1(epsilon))

@@ -1,0 +1,163 @@
+"""Monte-Carlo estimators cross-validating the exact and asymptotic results.
+
+Sampling characteristic strings and evaluating the Theorem 5 recurrence
+is cheap (O(T) per sample), which makes Monte Carlo a practical oracle
+for every probability in the paper: settlement violations (against the
+exact DP), Catalan-slot rarity (against Bounds 1 and 2), and consistency
+under non-i.i.d. (martingale) leader sequences (against the dominance
+claim of Theorem 1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.catalan import (
+    catalan_slots,
+    uniquely_honest_catalan_slots,
+)
+from repro.core.distributions import (
+    SlotProbabilities,
+    sample_characteristic_string,
+)
+from repro.core.margin import margin_step
+from repro.core.walks import stationary_reach_ratio
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A Monte-Carlo estimate with its standard error."""
+
+    value: float
+    standard_error: float
+    trials: int
+
+    def within(self, target: float, sigmas: float = 4.0) -> bool:
+        """Is ``target`` within ``sigmas`` standard errors of the estimate?"""
+        slack = sigmas * self.standard_error + 1e-12
+        return abs(self.value - target) <= slack
+
+
+def _estimate(hits: int, trials: int) -> Estimate:
+    rate = hits / trials
+    se = math.sqrt(max(rate * (1.0 - rate), 1e-12) / trials)
+    return Estimate(rate, se, trials)
+
+
+def sample_initial_reach(epsilon: float, rng: random.Random) -> int:
+    """Draw from the X_∞ law of Eq. (9) (geometric with ratio β)."""
+    beta = stationary_reach_ratio(epsilon)
+    reach = 0
+    while rng.random() < beta:
+        reach += 1
+    return reach
+
+
+def estimate_settlement_violation(
+    probabilities: SlotProbabilities,
+    depth: int,
+    trials: int,
+    rng: random.Random,
+    prefix_length: int | None = None,
+) -> Estimate:
+    """Monte-Carlo ``Pr[μ_x(y) ≥ 0]`` at ``|y| = depth``.
+
+    Samples the initial reach (X_∞ for ``prefix_length=None``, otherwise
+    by running the reach recurrence over a sampled prefix), then runs the
+    joint Theorem 5 recurrence over a sampled suffix.  This is the same
+    quantity the exact DP computes, by an entirely independent route —
+    the test-suite requires agreement within sampling error.
+    """
+    p_h, p_bigh, p_adv, p_empty = probabilities.as_tuple()
+    if p_empty:
+        raise ValueError("synchronous probabilities required")
+    hits = 0
+    for _ in range(trials):
+        if prefix_length is None:
+            reach = sample_initial_reach(probabilities.epsilon, rng)
+        else:
+            prefix = sample_characteristic_string(
+                probabilities, prefix_length, rng
+            )
+            from repro.core.reach import rho
+
+            reach = rho(prefix)
+        margin = reach
+        suffix = sample_characteristic_string(probabilities, depth, rng)
+        for symbol in suffix:
+            reach, margin = margin_step(reach, margin, symbol)
+        if margin >= 0:
+            hits += 1
+    return _estimate(hits, trials)
+
+
+def estimate_no_unique_catalan_in_window(
+    probabilities: SlotProbabilities,
+    window_start: int,
+    window_length: int,
+    total_length: int,
+    trials: int,
+    rng: random.Random,
+) -> Estimate:
+    """Monte-Carlo probability that a window has no uniquely honest Catalan slot.
+
+    The event of Bound 1; Catalan-ness is evaluated in the whole sampled
+    string, so the estimate includes the boundary effects the bound's
+    prefix correction accounts for.
+    """
+    hits = 0
+    window_end = window_start + window_length - 1
+    for _ in range(trials):
+        word = sample_characteristic_string(probabilities, total_length, rng)
+        slots = uniquely_honest_catalan_slots(word)
+        if not any(window_start <= s <= window_end for s in slots):
+            hits += 1
+    return _estimate(hits, trials)
+
+
+def estimate_no_consecutive_catalan_in_window(
+    probabilities: SlotProbabilities,
+    window_start: int,
+    window_length: int,
+    total_length: int,
+    trials: int,
+    rng: random.Random,
+) -> Estimate:
+    """Monte-Carlo probability of no two consecutive Catalan slots (Bound 2)."""
+    hits = 0
+    window_end = window_start + window_length - 1
+    for _ in range(trials):
+        word = sample_characteristic_string(probabilities, total_length, rng)
+        slots = set(catalan_slots(word))
+        if not any(
+            window_start <= s <= window_end and s + 1 in slots for s in slots
+        ):
+            hits += 1
+    return _estimate(hits, trials)
+
+
+def estimate_violation_from_sampler(
+    sampler,
+    target_slot: int,
+    depth: int,
+    trials: int,
+) -> Estimate:
+    """Violation rate for strings drawn from an arbitrary sampler.
+
+    ``sampler()`` must return a characteristic string of length at least
+    ``target_slot + depth − 1``.  Used to check the dominance claim: a
+    martingale-damped sampler must not exceed the i.i.d. probability.
+    """
+    from repro.core.margin import relative_margin
+
+    hits = 0
+    for _ in range(trials):
+        word = sampler()
+        needed = target_slot + depth - 1
+        if len(word) < needed:
+            raise ValueError("sampler returned a string that is too short")
+        if relative_margin(word[:needed], target_slot - 1) >= 0:
+            hits += 1
+    return _estimate(hits, trials)

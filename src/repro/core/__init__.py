@@ -1,0 +1,57 @@
+"""Core combinatorial framework of the paper.
+
+This subpackage implements the synchronous fork framework of Blum et al.
+as extended by Kiayias, Quader and Russell to characteristic strings over
+``{h, H, A}`` with concurrent honest slot leaders: forks and tines,
+gap/reserve/reach, relative margin and its recurrence (Theorem 5), Catalan
+slots, the Unique Vertex Property, slot settlement, balanced forks, and the
+optimal online adversary ``A*``.
+"""
+
+from repro.core.alphabet import (
+    ADVERSARIAL,
+    EMPTY,
+    HONEST_MULTI,
+    HONEST_UNIQUE,
+    CharacteristicString,
+    Symbol,
+)
+from repro.core.catalan import (
+    catalan_slots,
+    is_catalan,
+    is_left_catalan,
+    is_right_catalan,
+)
+from repro.core.forks import Fork, Tine, Vertex
+from repro.core.margin import margin, margin_sequence, relative_margin
+from repro.core.reach import reach_sequence, rho
+from repro.core.adversary_star import build_canonical_fork
+from repro.core.settlement import is_k_settled, settlement_violation_slots
+from repro.core.uvp import has_bottleneck_property, has_uvp, uvp_slots
+
+__all__ = [
+    "ADVERSARIAL",
+    "EMPTY",
+    "HONEST_MULTI",
+    "HONEST_UNIQUE",
+    "CharacteristicString",
+    "Symbol",
+    "Fork",
+    "Tine",
+    "Vertex",
+    "build_canonical_fork",
+    "catalan_slots",
+    "has_bottleneck_property",
+    "has_uvp",
+    "is_catalan",
+    "is_k_settled",
+    "is_left_catalan",
+    "is_right_catalan",
+    "margin",
+    "margin_sequence",
+    "reach_sequence",
+    "relative_margin",
+    "rho",
+    "settlement_violation_slots",
+    "uvp_slots",
+]

@@ -1,0 +1,161 @@
+"""The optimal online adversary ``A*`` of Figure 4 (Section 6.5).
+
+``A*`` scans a characteristic string left to right and maintains a closed
+fork that is *canonical* (Definition 19, Theorem 6): for **every** prefix
+split ``w = xy`` it simultaneously attains the maximum possible reach
+``ρ(F) = ρ(w)`` and relative margin ``μ_x(F) = μ_x(y)``.  It is therefore
+an optimal online attacker against the settlement of all slots at once.
+
+The strategy, per new symbol:
+
+* ``A`` — do nothing (every tine's reserve, hence reach, grows by one);
+* ``h`` / ``H`` — conservatively extend carefully chosen tine(s):
+
+  - let ``Z`` be the zero-reach tines and ``R`` the maximum-reach tines of
+    the current fork;
+  - pick ``(r₁, z₁) ∈ R × Z`` minimising the divergence label
+    ``ℓ(r₁ ∩ z₁)`` (ties broken deterministically);
+  - extend ``z₁`` alone, unless the symbol is ``H`` and ``ρ(F) = 0`` with
+    at least two zero-reach tines available — then extend both ``z₁`` and
+    ``r₁`` (two sibling extensions when ``z₁ = r₁``), keeping the margin
+    at zero as Eq. (14) promises;
+  - when ``Z`` is empty (possible after a run of adversarial symbols has
+    lifted every reach above zero) extend a maximum-reach tine; the new
+    vertex lands at reach zero and re-seeds ``Z``.
+
+A *conservative extension* (Definition 15) of a tine ``t`` pads ``t`` with
+exactly ``gap(t)`` adversarial vertices — consuming the least reserve — and
+places the new honest vertex at depth ``height(F) + 1``.
+
+Theorem 6's canonicality is verified exhaustively in the test-suite by
+comparing ``μ_x(F)`` (structural) against the Theorem 5 recurrence for all
+prefixes of randomly drawn strings.
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import (
+    ADVERSARIAL,
+    HONEST_MULTI,
+    is_honest,
+)
+from repro.core.forks import Fork, Vertex, lowest_common_ancestor
+from repro.core.reach import reach
+
+
+class AdversaryStar:
+    """Online builder of canonical forks (Figure 4).
+
+    Feed symbols with :meth:`advance`; the current canonical closed fork is
+    :attr:`fork`.  The instance also records, per honest step, which tines
+    were extended — useful for protocol-level adversaries that mirror the
+    combinatorial strategy with real blocks.
+    """
+
+    def __init__(self) -> None:
+        self.fork = Fork("")
+        self.extension_log: list[tuple[int, list[int]]] = []
+
+    @property
+    def word(self) -> str:
+        """The characteristic string consumed so far."""
+        return self.fork.word
+
+    def advance(self, symbol: str) -> None:
+        """Consume one symbol of the characteristic string."""
+        slot = len(self.fork.word) + 1
+        self.fork.extend_word(symbol)
+        if symbol == ADVERSARIAL:
+            return
+        if not is_honest(symbol):
+            raise ValueError(f"A* expects symbols in {{h, H, A}}, got {symbol!r}")
+
+        # Reaches are evaluated against the word *without* the new honest
+        # symbol, matching Figure 4 (F_n is a fork for w_1 .. w_n).  A new
+        # honest symbol changes no tine's reserve, so evaluating after
+        # extend_word is identical.
+        targets = self._select_targets(symbol)
+        height = self.fork.height
+        extended_uids = []
+        for target in targets:
+            vertex = self._conservative_extension(target, slot, height)
+            extended_uids.append(vertex.uid)
+        self.extension_log.append((slot, extended_uids))
+
+    def run(self, word: str) -> Fork:
+        """Consume a whole string and return the canonical fork."""
+        for symbol in word:
+            self.advance(symbol)
+        return self.fork
+
+    # ------------------------------------------------------------------
+
+    def _select_targets(self, symbol: str) -> list[Vertex]:
+        """Choose the tine(s) to extend.
+
+        Follows Figure 4 as completed by the proof of Proposition 2: when
+        the new symbol is ``H`` and ``ρ(F) = 0``, *two* conservative
+        extensions ``σ1 ≻ z1`` and ``σ2 ≻ r1`` are made (two sibling
+        extensions when ``z1 = r1``); otherwise a single extension of
+        ``z1``.  When no zero-reach tine exists (a run of adversarial
+        symbols lifted every reach above zero — then ``ρ(F) ≥ 1``), a
+        maximum-reach tine is extended instead; its extension has reach 0.
+        """
+        vertices = self.fork.vertices()
+        reaches = {v: reach(self.fork, v) for v in vertices}
+        maximum = max(reaches.values())
+        zero = [v for v in vertices if reaches[v] == 0]
+        top = [v for v in vertices if reaches[v] == maximum]
+
+        if not zero:
+            return [min(top, key=lambda v: v.uid)]
+
+        # Pick (r1, z1) minimising the divergence label ℓ(r1 ∩ z1); ties
+        # broken by creation order for determinism.  The pair may be a
+        # single tine paired with itself (divergence label = its own).
+        best_key = None
+        best_pair: tuple[Vertex, Vertex] | None = None
+        for r in top:
+            for z in zero:
+                meet = lowest_common_ancestor(r, z)
+                key = (meet.label, z.uid, r.uid)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_pair = (r, z)
+        assert best_pair is not None
+        r1, z1 = best_pair
+
+        if symbol == HONEST_MULTI and maximum == 0:
+            return [z1, r1]
+        return [z1]
+
+    def _conservative_extension(
+        self, target: Vertex, slot: int, height: int
+    ) -> Vertex:
+        """Pad ``target`` with gap-many adversarial vertices, then extend.
+
+        The padding uses the earliest adversarial indices after the
+        target's label; reach(target) ≥ 0 guarantees enough of them exist.
+        The new honest vertex lands at depth ``height + 1``.
+        """
+        word = self.fork.word
+        needed = height - target.depth
+        vertex = target
+        label_floor = target.label
+        added = 0
+        while added < needed:
+            label_floor += 1
+            if label_floor >= slot:
+                raise AssertionError(
+                    "insufficient reserve for a conservative extension: "
+                    "the target tine had negative reach"
+                )
+            if word[label_floor - 1] == ADVERSARIAL:
+                vertex = self.fork.add_vertex(vertex, label_floor)
+                added += 1
+        return self.fork.add_vertex(vertex, slot)
+
+
+def build_canonical_fork(word: str) -> Fork:
+    """Run ``A*`` on ``word`` and return the canonical fork (Theorem 6)."""
+    return AdversaryStar().run(word)

@@ -1,0 +1,158 @@
+"""Catalan slots (Definition 11) and their efficient detection.
+
+A slot ``s`` of a characteristic string ``w`` is
+
+* *left-Catalan* when every interval ``[ℓ, s]`` (``1 ≤ ℓ ≤ s``) is hH-heavy,
+* *right-Catalan* when every interval ``[s, r]`` (``s ≤ r ≤ T``) is
+  hH-heavy, and
+* *Catalan* when it is both.
+
+Catalan slots act as barriers for the adversary (Fact 2): every chain viable
+after a Catalan slot must contain an honest block from it, which is the
+engine behind the Unique Vertex Property (Theorem 3).
+
+Walk characterisation
+---------------------
+
+With the Section 5 walk ``S_t`` (``+1`` on ``A``, ``−1`` on honest, ``0``
+on ``⊥``):
+
+* ``[ℓ, s]`` is hH-heavy for all ℓ  ⇔  ``S_s < S_j`` for all ``j < s``
+  (the walk reaches a strict new minimum at ``s``);
+* ``[s, r]`` is hH-heavy for all r  ⇔  ``S_r < S_{s−1}`` for all
+  ``r ∈ [s, T]`` (the walk never returns to its pre-``s`` level).
+
+Both conditions are computed for every slot simultaneously in O(n) via
+prefix minima and suffix maxima, giving :func:`catalan_slots`.  The
+quadratic direct-from-definition versions are kept (``*_naive``) as
+independent oracles for the test-suite cross-checks.
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import is_honest, prefix_sums
+from repro.core.intervals import IntervalOracle
+
+
+def is_left_catalan(word: str, slot: int) -> bool:
+    """Left-Catalan test straight from Definition 11 (quadratic)."""
+    _check_slot(word, slot)
+    oracle = IntervalOracle(word)
+    return all(oracle.is_hh_heavy(left, slot) for left in range(1, slot + 1))
+
+
+def is_right_catalan(word: str, slot: int) -> bool:
+    """Right-Catalan test straight from Definition 11 (quadratic)."""
+    _check_slot(word, slot)
+    oracle = IntervalOracle(word)
+    return all(
+        oracle.is_hh_heavy(slot, right) for right in range(slot, len(word) + 1)
+    )
+
+
+def is_catalan(word: str, slot: int) -> bool:
+    """True when ``slot`` is Catalan in ``word`` (Definition 11)."""
+    return is_left_catalan(word, slot) and is_right_catalan(word, slot)
+
+
+def catalan_slots(word: str) -> list[int]:
+    """All Catalan slots of ``word`` in increasing order, in O(n).
+
+    Uses the walk characterisation described in the module docstring.
+    """
+    length = len(word)
+    if length == 0:
+        return []
+    sums = prefix_sums(word)
+
+    # prefix_min[t] = min(S_0 .. S_t); strict new minimum at s means
+    # S_s < prefix_min[s - 1].
+    prefix_min = [0] * (length + 1)
+    for t in range(1, length + 1):
+        prefix_min[t] = min(prefix_min[t - 1], sums[t])
+
+    # suffix_max[t] = max(S_t .. S_T); "never returns" at s means
+    # suffix_max[s] < S_{s-1}, i.e. every S_r with r >= s stays strictly
+    # below the pre-s level.
+    suffix_max = [0] * (length + 2)
+    suffix_max[length + 1] = -(10 ** 18)
+    for t in range(length, -1, -1):
+        suffix_max[t] = max(sums[t], suffix_max[t + 1])
+
+    slots = []
+    for s in range(1, length + 1):
+        if not is_honest(word[s - 1]):
+            continue
+        new_minimum = sums[s] < prefix_min[s - 1]
+        never_returns = suffix_max[s] < sums[s - 1]
+        if new_minimum and never_returns:
+            slots.append(s)
+    return slots
+
+
+def left_catalan_slots(word: str) -> list[int]:
+    """All left-Catalan slots in O(n) (strict new minima of the walk)."""
+    sums = prefix_sums(word)
+    slots = []
+    minimum = 0
+    for s in range(1, len(word) + 1):
+        if sums[s] < minimum and is_honest(word[s - 1]):
+            slots.append(s)
+        minimum = min(minimum, sums[s])
+    return slots
+
+
+def right_catalan_slots(word: str) -> list[int]:
+    """All right-Catalan slots in O(n) (walk stays below pre-slot level)."""
+    length = len(word)
+    sums = prefix_sums(word)
+    suffix_max = [0] * (length + 2)
+    suffix_max[length + 1] = -(10 ** 18)
+    for t in range(length, -1, -1):
+        suffix_max[t] = max(sums[t], suffix_max[t + 1])
+    return [
+        s
+        for s in range(1, length + 1)
+        if is_honest(word[s - 1]) and suffix_max[s] < sums[s - 1]
+    ]
+
+
+def catalan_slots_naive(word: str) -> list[int]:
+    """Quadratic-per-slot reference implementation (tests only)."""
+    return [s for s in range(1, len(word) + 1) if is_catalan(word, s)]
+
+
+def uniquely_honest_catalan_slots(word: str) -> list[int]:
+    """Catalan slots whose symbol is ``h`` — the slots with the UVP (Thm 3)."""
+    return [s for s in catalan_slots(word) if word[s - 1] == "h"]
+
+
+def first_uniquely_honest_catalan_slot(word: str) -> int | None:
+    """Smallest uniquely honest Catalan slot, or ``None``.
+
+    This is the stopping time whose generating function ``C(Z)`` drives
+    Bound 1 (Section 5.1).
+    """
+    slots = uniquely_honest_catalan_slots(word)
+    return slots[0] if slots else None
+
+
+def consecutive_catalan_pairs(word: str) -> list[int]:
+    """Slots ``s`` with both ``s`` and ``s + 1`` Catalan (Theorem 4).
+
+    Under the consistent tie-breaking axiom A0′, two consecutive Catalan
+    slots give the earlier slot the UVP even when it is multiply honest;
+    the rarity of such pairs is Bound 2.
+    """
+    slots = set(catalan_slots(word))
+    return sorted(s for s in slots if s + 1 in slots)
+
+
+def has_catalan_in_window(word: str, start: int, stop: int) -> bool:
+    """Is some slot in ``[start, stop]`` Catalan in the *whole* string?"""
+    return any(start <= s <= stop for s in catalan_slots(word))
+
+
+def _check_slot(word: str, slot: int) -> None:
+    if not 1 <= slot <= len(word):
+        raise IndexError(f"slot {slot} outside [1, {len(word)}]")

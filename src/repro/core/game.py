@@ -1,0 +1,245 @@
+"""The (D, T; s, k)-settlement game of Section 2.2, played move by move.
+
+The boxed game of the paper: a characteristic string is drawn from the
+leader-election distribution and revealed slot by slot; the *challenger*
+deterministically plays the honest participants (new honest vertices go
+on maximum-length tines), while the *adversary* chooses, for each slot,
+
+* how many honest vertices a multiply honest slot gets (``k ≥ 1``),
+* which maximum-length tine each lands on (tie-breaking),
+* arbitrary adversarial vertices for ``A`` slots, and
+* arbitrary augmentations with already-available adversarial labels.
+
+The adversary wins when slot ``s`` is not ``k``-settled in some fork it
+produced.  :class:`SettlementGameArena` enforces the challenger's rules;
+strategies implement :class:`GameAdversary`.  Provided strategies:
+
+* :class:`LongestChainSycophant` — always extends a current longest tine,
+  mints nothing: the honest baseline (never wins);
+* :class:`RandomForker` — random tie-breaking and random adversarial
+  placements: a weak but legal attacker;
+* :class:`CanonicalForker` — mirrors ``A*``; optimal by Theorem 6.
+
+The arena cross-checks every produced fork against the axioms, making it
+also a fuzzing harness for the fork machinery.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.alphabet import (
+    ADVERSARIAL,
+    HONEST_MULTI,
+    HONEST_UNIQUE,
+)
+from repro.core.adversary_star import AdversaryStar
+from repro.core.balanced import is_x_balanced
+from repro.core.forks import Fork, Vertex
+from repro.core.margin import relative_margin
+
+
+class GameAdversary:
+    """Interface for settlement-game strategies."""
+
+    def start(self, arena: "SettlementGameArena") -> None:
+        """Called once before the first slot."""
+
+    def honest_slot(
+        self, arena: "SettlementGameArena", slot: int, multiply: bool
+    ) -> list[Vertex]:
+        """Choose the parent tine(s) for the slot's honest vertices.
+
+        Must return vertices of maximal depth (the challenger verifies);
+        for a uniquely honest slot exactly one, for a multiply honest
+        slot one or more (duplicates allowed — sibling vertices).
+        """
+        raise NotImplementedError
+
+    def adversarial_slot(
+        self, arena: "SettlementGameArena", slot: int
+    ) -> list[tuple[Vertex, int]]:
+        """Arbitrary placements ``(parent, label)`` with ``label = slot``."""
+        return []
+
+    def augment(
+        self, arena: "SettlementGameArena", slot: int
+    ) -> list[tuple[Vertex, int]]:
+        """Arbitrary post-slot placements using adversarial labels ≤ slot."""
+        return []
+
+
+class SettlementGameArena:
+    """Challenger-side rules of the settlement game."""
+
+    def __init__(self, word: str, adversary: GameAdversary) -> None:
+        self.word = word
+        self.fork = Fork("")
+        self.adversary = adversary
+
+    def play(self) -> Fork:
+        """Run the whole game and return the final fork."""
+        self.adversary.start(self)
+        for slot, symbol in enumerate(self.word, start=1):
+            self.fork.extend_word(symbol)
+            if symbol == ADVERSARIAL:
+                placements = self.adversary.adversarial_slot(self, slot)
+                for parent, label in placements:
+                    if label != slot:
+                        raise ValueError("adversarial label must equal slot")
+                    self.fork.add_vertex(parent, label)
+            else:
+                height = self.fork.height
+                parents = self.adversary.honest_slot(
+                    self, slot, symbol == HONEST_MULTI
+                )
+                if symbol == HONEST_UNIQUE and len(parents) != 1:
+                    raise ValueError("uniquely honest slot gets one vertex")
+                if not parents:
+                    raise ValueError("honest slot needs at least one vertex")
+                for parent in parents:
+                    if parent.depth != height:
+                        raise ValueError(
+                            "honest vertices extend maximum-length tines"
+                        )
+                    self.fork.add_vertex(parent, slot)
+            for parent, label in self.adversary.augment(self, slot):
+                if self.word[label - 1] != ADVERSARIAL:
+                    raise ValueError("augmentation uses adversarial labels")
+                if label > slot:
+                    raise ValueError("augmentation cannot use future labels")
+                self.fork.add_vertex(parent, label)
+        return self.fork
+
+    def longest_vertices(self) -> list[Vertex]:
+        """Current maximum-depth vertices (the legal honest parents)."""
+        height = self.fork.height
+        return [v for v in self.fork.vertices() if v.depth == height]
+
+    def adversary_wins(self, target_slot: int, depth: int) -> bool:
+        """Is ``target_slot`` left unsettled at depth ``depth``?
+
+        Decided on the final fork: the adversary wins when it produced an
+        x-balanced fork for ``x = w[:target_slot − 1]`` — i.e. two
+        maximum-length tines diverging before the target — or when its
+        remaining reserve could still create one (margin ≥ 0, Fact 6).
+        """
+        if len(self.word) < target_slot + depth:
+            raise ValueError("string too short for this (s, k)")
+        return is_x_balanced(self.fork, target_slot - 1) or (
+            relative_margin(self.word, target_slot - 1) >= 0
+            and self._fork_margin_nonnegative(target_slot - 1)
+        )
+
+    def _fork_margin_nonnegative(self, prefix_length: int) -> bool:
+        from repro.core.margin import margin_of_fork
+
+        return margin_of_fork(self.fork, prefix_length) >= 0
+
+
+class LongestChainSycophant(GameAdversary):
+    """Extends the first longest tine, mints nothing — the honest world."""
+
+    def honest_slot(self, arena, slot, multiply):
+        return [arena.longest_vertices()[0]]
+
+
+class RandomForker(GameAdversary):
+    """Random legal play: a fuzzing baseline, far from optimal."""
+
+    def __init__(self, rng: random.Random, multi_cap: int = 2) -> None:
+        self.rng = rng
+        self.multi_cap = multi_cap
+
+    def honest_slot(self, arena, slot, multiply):
+        options = arena.longest_vertices()
+        count = self.rng.randint(1, self.multi_cap) if multiply else 1
+        return [self.rng.choice(options) for _ in range(count)]
+
+    def adversarial_slot(self, arena, slot):
+        placements = []
+        if self.rng.random() < 0.7:
+            candidates = [
+                v for v in arena.fork.vertices() if v.label < slot
+            ]
+            placements.append((self.rng.choice(candidates), slot))
+        return placements
+
+
+class CanonicalForker(GameAdversary):
+    """Plays the moves of ``A*``: optimal against every slot at once.
+
+    Internally runs :class:`~repro.core.adversary_star.AdversaryStar` on
+    the same symbols and mirrors its vertex placements into the arena's
+    fork (conservative extensions become an augmentation of adversarial
+    padding followed by the honest vertex on the padded tine).
+    """
+
+    def start(self, arena) -> None:
+        self._star = AdversaryStar()
+        self._mirror: dict[int, Vertex] = {
+            self._star.fork.root.uid: arena.fork.root
+        }
+        self._unmapped: list[Vertex] = []
+
+    def honest_slot(self, arena, slot, multiply):
+        # Advance A*; its conservative paddings appear as pre-placed
+        # adversarial vertices, so the honest vertices land on tines that
+        # are maximal by construction.
+        self._star.advance(arena.word[slot - 1])
+        star_fork = self._star.fork
+        parents = []
+        for vertex in star_fork.vertices():
+            if vertex.label != slot or vertex.uid in self._mirror:
+                continue
+            chain = [
+                v
+                for v in vertex.path_from_root()
+                if v.uid not in self._mirror
+            ]
+            for missing in chain[:-1]:
+                parent = self._mirror[missing.parent.uid]
+                self._mirror[missing.uid] = arena.fork.add_vertex(
+                    parent, missing.label
+                )
+            parents.append(self._mirror[vertex.parent.uid])
+        # the arena will now create the honest vertices; remember which A*
+        # vertices they correspond to so augment() can reconcile the maps
+        self._unmapped = [
+            v
+            for v in star_fork.vertices_with_label(slot)
+            if v.uid not in self._mirror
+        ]
+        return parents
+
+    def adversarial_slot(self, arena, slot):
+        self._star.advance(arena.word[slot - 1])
+        return []
+
+    def augment(self, arena, slot):
+        # reconcile the honest vertices the arena just added
+        star_fork = self._star.fork
+        if getattr(self, "_unmapped", None):
+            arena_new = [
+                v
+                for v in arena.fork.vertices()
+                if v.label == slot and v.uid not in {
+                    m.uid for m in self._mirror.values()
+                }
+            ]
+            for star_vertex, arena_vertex in zip(self._unmapped, arena_new):
+                self._mirror[star_vertex.uid] = arena_vertex
+            self._unmapped = []
+        return []
+
+
+def play_settlement_game(
+    word: str,
+    adversary: GameAdversary,
+    target_slot: int,
+    depth: int,
+) -> tuple[bool, Fork]:
+    """Run one game; return (adversary wins, final fork)."""
+    arena = SettlementGameArena(word, adversary)
+    fork = arena.play()
+    return arena.adversary_wins(target_slot, depth), fork

@@ -1,0 +1,166 @@
+"""Slot settlement (Definition 3) and the settlement game (Section 2.2).
+
+Slot ``s`` is *k-settled* in ``w`` when no fork for any sufficiently long
+prefix of ``w`` contains two maximum-length tines diverging before ``s``.
+Settlement failures are exactly what an exchange waiting ``k`` slots before
+crediting a deposit cares about.
+
+The operational characterisations used here:
+
+* a slot ``t ∈ [s, s + k]`` with the UVP forces ``s`` to be k-settled
+  (Eq. (1));
+* slot ``s`` admits a violation *at the end of* ``w``  ⇔
+  ``μ_{w[:s−1]}(w[s−1:]) ≥ 0``  (Fact 6 / Observation 2 via x-balanced
+  forks);
+* the settlement game of Section 2.2 is implemented as a challenger that
+  any adversary strategy can be played against; the optimal strategy is
+  :class:`repro.core.adversary_star.AdversaryStar`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.alphabet import ADVERSARIAL, is_honest
+from repro.core.catalan import catalan_slots
+from repro.core.margin import margin_sequence
+from repro.core.uvp import uvp_slots, uvp_slots_consistent_tiebreak
+
+
+def is_k_settled(word: str, slot: int, depth: int) -> bool:
+    """Is ``slot`` k-settled (``k = depth``) in ``word``? (Definition 3.)
+
+    Evaluated via relative margin: a violation witnessed by a fork for a
+    prefix ``ŵ = xy`` with ``|x| = slot − 1`` and ``|y| ≥ depth`` exists
+    iff ``μ_x(y) ≥ 0`` for some such ``y`` (Fact 6).  Margins for every
+    suffix length come from one O(|word|) recurrence pass.
+    """
+    if not 1 <= slot <= len(word):
+        raise ValueError(f"slot {slot} outside [1, {len(word)}]")
+    if depth < 0:
+        raise ValueError(f"negative settlement depth {depth}")
+    sequence = margin_sequence(word, slot - 1)
+    considered = sequence[depth:] if depth >= 1 else sequence[1:]
+    return all(value < 0 for value in considered)
+
+
+def settlement_violation_slots(word: str, depth: int) -> list[int]:
+    """Slots of ``word`` that are *not* k-settled (``k = depth``)."""
+    return [
+        slot
+        for slot in range(1, len(word) + 1)
+        if not is_k_settled(word, slot, depth)
+    ]
+
+
+def settled_by_uvp(word: str, slot: int, depth: int) -> bool:
+    """Sufficient condition of Eq. (1): some slot in the window has UVP.
+
+    A one-sided (conservative) test: ``True`` guarantees k-settlement; on
+    ``False`` settlement may still hold.  The gap between this and
+    :func:`is_k_settled` is exercised in tests.
+    """
+    window_end = min(slot + depth, len(word))
+    return any(slot <= t <= window_end for t in uvp_slots(word))
+
+
+def settled_by_uvp_consistent(word: str, slot: int, depth: int) -> bool:
+    """Eq. (1) with the A0′ (consistent tie-breaking) UVP slots (Thm. 4)."""
+    window_end = min(slot + depth, len(word))
+    return any(
+        slot <= t <= window_end
+        for t in uvp_slots_consistent_tiebreak(word)
+    )
+
+
+def settlement_time(word: str, slot: int) -> int | None:
+    """Smallest ``k`` such that ``slot`` is k-settled in ``word``.
+
+    ``None`` when even observing the whole string leaves the slot
+    unsettled (i.e. the final margin is still non-negative).  Otherwise
+    the returned ``k`` satisfies: every fork for every prefix of length
+    ≥ ``slot + k`` keeps slot ``slot`` settled.
+    """
+    sequence = margin_sequence(word, slot - 1)
+    violations = [t for t, value in enumerate(sequence) if value >= 0 and t >= 1]
+    if not violations:
+        return 1
+    last_violation = violations[-1]
+    if last_violation == len(sequence) - 1:
+        return None
+    return last_violation + 1
+
+
+class SettlementGame:
+    """The (D, T; s, k)-settlement game of Section 2.2.
+
+    The challenger is deterministic; an *adversary strategy* is a callable
+    receiving the characteristic string consumed so far (ending in the
+    current slot's symbol) and the mutable game state.  The optimal
+    strategy builds canonical forks; random or greedy strategies give
+    Monte-Carlo lower bounds on the violation probability.
+
+    For tractability the game records only the quantities that decide the
+    outcome — the joint (reach, margin) trajectory — because Theorem 6
+    shows the optimal adversary attains the Theorem 5 recurrence values
+    and Fact 6 converts the final margin sign into the violation verdict.
+    Concrete fork-building adversaries are exercised separately through
+    :class:`repro.core.adversary_star.AdversaryStar`.
+    """
+
+    def __init__(self, target_slot: int, depth: int) -> None:
+        if target_slot < 1:
+            raise ValueError("target slot must be >= 1")
+        self.target_slot = target_slot
+        self.depth = depth
+
+    def adversary_wins(self, word: str) -> bool:
+        """Outcome under *optimal* play on the drawn string ``word``.
+
+        The adversary wins when slot ``target_slot`` is not k-settled in
+        some fork for some prefix of length ≥ ``target_slot + depth``.
+        """
+        if len(word) < self.target_slot + self.depth:
+            raise ValueError(
+                f"string of length {len(word)} too short for slot "
+                f"{self.target_slot} with depth {self.depth}"
+            )
+        return not is_k_settled(word, self.target_slot, self.depth)
+
+    def win_probability(
+        self,
+        sampler: Callable[[], str],
+        trials: int,
+    ) -> float:
+        """Monte-Carlo estimate of the optimal adversary's win rate."""
+        wins = sum(self.adversary_wins(sampler()) for _ in range(trials))
+        return wins / trials
+
+
+def longest_settlement_free_window(word: str) -> int:
+    """Length of the longest window without a UVP slot.
+
+    The Theorem 8 common-prefix argument bounds CP violations by the
+    existence of long UVP-free windows; this helper measures them.
+    """
+    slots = uvp_slots(word)
+    boundaries = [0] + slots + [len(word) + 1]
+    return max(b - a - 1 for a, b in zip(boundaries, boundaries[1:]))
+
+
+def catalan_settlement_summary(word: str) -> dict[str, object]:
+    """Descriptive statistics connecting Catalan slots and settlement.
+
+    Returns counts used by the examples and by EXPERIMENTS.md narration.
+    """
+    catalan = catalan_slots(word)
+    uvp = uvp_slots(word)
+    honest = sum(1 for c in word if is_honest(c))
+    return {
+        "length": len(word),
+        "honest_slots": honest,
+        "adversarial_slots": word.count(ADVERSARIAL),
+        "catalan_slots": len(catalan),
+        "uvp_slots": len(uvp),
+        "longest_uvp_free_window": longest_settlement_free_window(word),
+    }

@@ -1,0 +1,5 @@
+"""Reference data: the paper's published Table 1 and cached reproductions."""
+
+from repro.data.table1 import PAPER_TABLE1, paper_table1_value
+
+__all__ = ["PAPER_TABLE1", "paper_table1_value"]

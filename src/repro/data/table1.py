@@ -1,0 +1,85 @@
+"""Table 1 of the paper, transcribed verbatim.
+
+"Exact probabilities of k-settlement violations where the symbols h, H, A
+are independent and identically distributed as Pr[A] = α ∈ (0, 0.5) and
+Pr[H] = 1 − α − Pr[h]."
+
+Keys: ``(unique_fraction, alpha, k)`` where ``unique_fraction`` is the
+row-group parameter ``Pr[h] / (1 − α)``, ``alpha`` the column parameter,
+and ``k`` the settlement depth.  Values are as printed (3 significant
+digits).
+
+Reproduction note: our exact DP matches every k ≤ 400 cell to the printed
+precision.  The paper's k = 500 rows sit systematically *below* the
+geometric trend of their own k ≤ 400 rows (most visibly in the
+``fraction = 0.01`` block, where the printed value drops by two orders of
+magnitude against the block's ≈2.6×-per-100-slots trend); our k = 500
+values continue the trend and agree with independent small-k brute force,
+so we attribute the k = 500 rows to an artefact in the original
+computation or transcription and exclude them from strict comparisons.
+See EXPERIMENTS.md for the cell-by-cell account.
+"""
+
+PAPER_TABLE1: dict[tuple[float, float, int], float] = {}
+
+
+def _block(fraction: float, rows: dict[int, tuple[float, ...]]) -> None:
+    alphas = (0.01, 0.10, 0.20, 0.30, 0.40, 0.49)
+    for k, values in rows.items():
+        for alpha, value in zip(alphas, values):
+            PAPER_TABLE1[(fraction, alpha, k)] = value
+
+
+_block(1.0, {
+    100: (5.70e-054, 5.10e-018, 2.28e-008, 8.00e-004, 1.37e-001, 9.05e-001),
+    200: (1.64e-106, 9.82e-035, 1.61e-015, 1.60e-006, 3.36e-002, 8.73e-001),
+    300: (4.70e-159, 1.89e-051, 1.14e-022, 3.25e-009, 8.52e-003, 8.50e-001),
+    400: (1.35e-211, 3.64e-068, 8.02e-030, 6.59e-012, 2.18e-003, 8.29e-001),
+    500: (1.02e-264, 3.90e-085, 4.00e-037, 1.10e-014, 5.16e-004, 8.05e-001),
+})
+_block(0.9, {
+    100: (9.75e-052, 1.24e-017, 3.24e-008, 9.27e-004, 1.44e-001, 9.08e-001),
+    200: (3.04e-102, 4.95e-034, 2.96e-015, 2.03e-006, 3.60e-002, 8.77e-001),
+    300: (9.46e-153, 1.98e-050, 2.71e-022, 4.50e-009, 9.30e-003, 8.53e-001),
+    400: (2.95e-203, 7.91e-067, 2.48e-029, 9.96e-012, 2.43e-003, 8.33e-001),
+    500: (1.83e-254, 1.63e-083, 1.54e-036, 1.78e-014, 5.80e-004, 8.08e-001),
+})
+_block(0.8, {
+    100: (6.16e-048, 4.13e-017, 5.10e-008, 1.11e-003, 1.53e-001, 9.11e-001),
+    200: (7.58e-095, 4.61e-033, 6.58e-015, 2.73e-006, 3.91e-002, 8.81e-001),
+    300: (9.32e-142, 5.14e-049, 8.48e-022, 6.78e-009, 1.04e-002, 8.57e-001),
+    400: (1.15e-188, 5.74e-065, 1.09e-028, 1.68e-011, 2.77e-003, 8.38e-001),
+    500: (1.94e-236, 3.02e-081, 9.16e-036, 3.28e-014, 6.70e-004, 8.12e-001),
+})
+_block(0.5, {
+    100: (4.80e-028, 6.53e-014, 6.21e-007, 2.80e-003, 1.99e-001, 9.26e-001),
+    200: (2.46e-055, 6.31e-027, 6.40e-013, 1.31e-005, 5.86e-002, 8.98e-001),
+    300: (1.26e-082, 6.10e-040, 6.60e-019, 6.19e-008, 1.76e-002, 8.77e-001),
+    400: (6.46e-110, 5.90e-053, 6.81e-025, 2.92e-010, 5.33e-003, 8.59e-001),
+    500: (1.28e-138, 1.75e-066, 3.65e-031, 9.61e-013, 1.39e-003, 8.31e-001),
+})
+_block(0.25, {
+    100: (1.22e-012, 3.13e-008, 8.94e-005, 1.65e-002, 3.17e-001, 9.48e-001),
+    200: (1.51e-024, 1.06e-015, 9.36e-009, 3.36e-004, 1.25e-001, 9.27e-001),
+    300: (1.86e-036, 3.62e-023, 9.80e-013, 6.86e-006, 4.94e-002, 9.10e-001),
+    400: (2.30e-048, 1.23e-030, 1.03e-016, 1.40e-007, 1.96e-002, 8.96e-001),
+    500: (5.06e-062, 7.72e-039, 4.06e-021, 1.66e-009, 6.20e-003, 8.65e-001),
+})
+_block(0.01, {
+    100: (3.77e-001, 4.91e-001, 6.38e-001, 7.95e-001, 9.31e-001, 9.97e-001),
+    200: (1.42e-001, 2.41e-001, 4.08e-001, 6.34e-001, 8.72e-001, 9.95e-001),
+    300: (5.37e-002, 1.18e-001, 2.61e-001, 5.06e-001, 8.17e-001, 9.94e-001),
+    400: (2.03e-002, 5.81e-002, 1.67e-001, 4.04e-001, 7.66e-001, 9.92e-001),
+    500: (7.89e-005, 3.23e-003, 2.71e-002, 1.40e-001, 4.83e-001, 9.54e-001),
+})
+
+
+def paper_table1_value(unique_fraction: float, alpha: float, k: int) -> float:
+    """Published Table 1 cell; raises ``KeyError`` for off-grid parameters."""
+    return PAPER_TABLE1[(unique_fraction, alpha, k)]
+
+
+#: Depths whose published rows our exact DP reproduces to printed precision.
+VERIFIED_DEPTHS = (100, 200, 300, 400)
+#: Depth rows affected by the trend anomaly described in the module docstring.
+ANOMALOUS_DEPTHS = (500,)

@@ -1,0 +1,31 @@
+"""The Δ-synchronous setting (Section 8).
+
+* :mod:`repro.delta.reduction` — the reduction map ρ_Δ (Definition 22)
+  turning semi-synchronous strings into synchronous ones, with its slot
+  bijection π and the induced symbol distribution (Proposition 4);
+* :mod:`repro.delta.forks` — Δ-forks (axiom F4Δ, Definition 21) and the
+  fork-image isomorphism of Proposition 3;
+* :mod:`repro.delta.settlement` — (k, Δ)-settlement (Definition 23) and
+  the Theorem 7 error bound.
+"""
+
+from repro.delta.reduction import (
+    reduce_string,
+    reduced_probabilities,
+    slot_bijection,
+)
+from repro.delta.forks import DeltaFork, image_fork
+from repro.delta.settlement import (
+    is_k_delta_settled,
+    theorem7_error_bound,
+)
+
+__all__ = [
+    "DeltaFork",
+    "image_fork",
+    "is_k_delta_settled",
+    "reduce_string",
+    "reduced_probabilities",
+    "slot_bijection",
+    "theorem7_error_bound",
+]

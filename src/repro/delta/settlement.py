@@ -1,0 +1,125 @@
+"""(k, Δ)-settlement (Definition 23) and the Theorem 7 bound.
+
+Definition 23 counts *blocks* rather than slots: slot ``s`` is not
+(k, Δ)-settled when some Δ-fork has two maximum-length tines that both
+carry at least k vertices after slot ``s``, diverge before ``s``, and at
+least one contains a vertex labelled ``s``.  Lemma 2 transfers the
+question to the reduced string: a Catalan slot of ``ρ_Δ(w)`` inside the
+window — whose walk afterwards escapes below by more than Δ — settles the
+source slot.
+
+This module exposes:
+
+* a per-string decision procedure via the reduced string's margins
+  (sufficient conditions from Lemma 2 / Theorem 3 and the exact margin
+  criterion on the reduced string);
+* the Theorem 7 probability bound (delegating to
+  :mod:`repro.analysis.bounds`);
+* samplers used by the Δ-sweep benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.alphabet import EMPTY, prefix_sums
+from repro.core.catalan import catalan_slots
+from repro.core.distributions import (
+    SlotProbabilities,
+    sample_characteristic_string,
+)
+from repro.core.margin import margin_sequence
+from repro.analysis.bounds import theorem7_settlement_bound
+from repro.delta.reduction import reduce_string, slot_bijection
+
+
+def is_k_delta_settled(word: str, slot: int, depth: int, delta: int) -> bool:
+    """Is ``slot`` (k = depth, Δ = delta)-settled in the semi-sync ``word``?
+
+    Decided on the reduced string: slot ``s`` maps to ``π(s)``; the
+    settlement criterion is the margin condition of Lemma 1 applied to
+    ``ρ_Δ(w)``, with the suffix threshold counted in reduced slots (each
+    reduced slot carries at most one block per tine, so ``depth`` blocks
+    require at least ``depth`` reduced slots after ``π(s)``).  Empty
+    target slots are vacuously settled (they carry no block).
+    """
+    if not 1 <= slot <= len(word):
+        raise ValueError(f"slot {slot} outside [1, {len(word)}]")
+    if word[slot - 1] == EMPTY:
+        return True
+    reduced = reduce_string(word, delta)
+    mapping = slot_bijection(word, delta)
+    target = mapping[slot]
+    sequence = margin_sequence(reduced, target - 1)
+    considered = sequence[depth:] if depth >= 1 else sequence[1:]
+    return all(value < 0 for value in considered)
+
+
+def lemma2_settles(word: str, slot: int, depth: int, delta: int) -> bool:
+    """The sufficient condition of Lemma 2 (one-sided, conservative).
+
+    True when the reduced string has a Catalan slot ``c'`` within the
+    window of ``depth`` reduced slots after ``π(slot)`` whose walk
+    afterwards stays more than Δ below its level at ``c'``.  Guarantees
+    (|y'|, Δ)-settlement of ``slot``; ``False`` is inconclusive.
+    """
+    reduced = reduce_string(word, delta)
+    mapping = slot_bijection(word, delta)
+    if word[slot - 1] == EMPTY:
+        return True
+    target = mapping[slot]
+    window_end = min(target + depth - 1, len(reduced))
+    sums = prefix_sums(reduced)
+    for c in catalan_slots(reduced):
+        if not target <= c <= window_end:
+            continue
+        escape_from = c + depth
+        if escape_from > len(reduced):
+            continue
+        if all(
+            sums[i] <= sums[c] - delta
+            for i in range(escape_from, len(reduced) + 1)
+        ):
+            return True
+    return False
+
+
+def theorem7_error_bound(
+    probabilities: SlotProbabilities, depth: int, delta: int
+) -> float:
+    """Theorem 7's bound on ``Pr[slot s is not (k, Δ)-settled]``.
+
+    Wraps :func:`repro.analysis.bounds.theorem7_settlement_bound` with the
+    library's parameter object.  Requires semi-synchronous parameters
+    (``p_⊥ > 0`` when Δ > 0).
+    """
+    return theorem7_settlement_bound(
+        probabilities.activity,
+        probabilities.p_adversarial,
+        probabilities.p_unique,
+        delta,
+        depth,
+    )
+
+
+def estimate_violation_rate(
+    probabilities: SlotProbabilities,
+    slot: int,
+    depth: int,
+    delta: int,
+    total_length: int,
+    trials: int,
+    rng: random.Random,
+) -> float:
+    """Monte-Carlo rate of (k, Δ)-settlement failure for one slot.
+
+    Samples semi-synchronous strings, reduces them, and applies the
+    margin criterion; used by the Δ-sweep benchmark to show the measured
+    rate sits below the Theorem 7 bound.
+    """
+    failures = 0
+    for _ in range(trials):
+        word = sample_characteristic_string(probabilities, total_length, rng)
+        if not is_k_delta_settled(word, slot, depth, delta):
+            failures += 1
+    return failures / trials

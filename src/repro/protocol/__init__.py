@@ -1,0 +1,44 @@
+"""Executable PoS longest-chain protocol (the system the paper analyses).
+
+The combinatorial model of Section 2 abstracts a concrete protocol:
+parties hold stake, a VRF-based lottery elects slot leaders, leaders sign
+blocks extending the longest chain they know, and a (possibly delayed,
+adversarially scheduled) network carries the blocks.  This subpackage
+implements that protocol end to end:
+
+* :mod:`repro.protocol.crypto` — ideal hash/signature/VRF functionalities;
+* :mod:`repro.protocol.block` — hash-chained blocks and block trees;
+* :mod:`repro.protocol.leader` — stake-weighted leader election;
+* :mod:`repro.protocol.tiebreak` — the A0 and A0′ chain-selection rules;
+* :mod:`repro.protocol.network` — synchronous and Δ-bounded networks with
+  a rushing adversary;
+* :mod:`repro.protocol.node` — honest longest-chain nodes;
+* :mod:`repro.protocol.adversary` — protocol-level attack strategies;
+* :mod:`repro.protocol.simulation` — the slot-driven engine and the
+  execution→fork extractor that closes the loop with the paper's model.
+"""
+
+from repro.protocol.block import Block, BlockTree, genesis_block
+from repro.protocol.crypto import IdealSignatureScheme, IdealVrf, hash_data
+from repro.protocol.leader import (
+    LeaderSchedule,
+    StakeDistribution,
+    VrfLeaderElection,
+)
+from repro.protocol.node import HonestNode
+from repro.protocol.simulation import Simulation, SimulationResult
+
+__all__ = [
+    "Block",
+    "BlockTree",
+    "HonestNode",
+    "IdealSignatureScheme",
+    "IdealVrf",
+    "LeaderSchedule",
+    "Simulation",
+    "SimulationResult",
+    "StakeDistribution",
+    "VrfLeaderElection",
+    "genesis_block",
+    "hash_data",
+]

@@ -1,0 +1,175 @@
+"""Hash-chained blocks and block trees (the protocol's ledger layer).
+
+A :class:`Block` commits to its parent by hash (immutability: a block
+pins its entire prefix — the property behind fork axiom A2/F2) and
+carries the slot number, the issuer's verification key, the VRF
+eligibility proof, an opaque payload, and the issuer's signature.
+
+A :class:`BlockTree` is a node's local view: all valid blocks received so
+far, indexed by hash, rooted at genesis.  It answers longest-chain
+queries and converts executions into the paper's abstract forks (see
+:func:`repro.protocol.simulation.execution_fork`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocol.crypto import hash_data
+
+#: Slot number carried by the genesis block.
+GENESIS_SLOT = 0
+
+
+@dataclass(frozen=True)
+class Block:
+    """One immutable block.
+
+    ``parent_hash`` is ``""`` only for genesis.  ``issuer`` is the
+    issuing party's verification key (empty for genesis); ``signature``
+    and ``vrf_proof`` are the ideal-functionality tags checked by
+    :meth:`BlockTree.validate_block`.
+    """
+
+    slot: int
+    parent_hash: str
+    issuer: str
+    payload: str = ""
+    vrf_proof: str = ""
+    signature: str = ""
+
+    @property
+    def block_hash(self) -> str:
+        """Commitment to the full content (and, transitively, the prefix)."""
+        return hash_data(
+            "block",
+            self.slot,
+            self.parent_hash,
+            self.issuer,
+            self.payload,
+            self.vrf_proof,
+        )
+
+    def header(self) -> str:
+        """The signed portion of the block."""
+        return hash_data(
+            "header", self.slot, self.parent_hash, self.issuer, self.payload
+        )
+
+
+def genesis_block() -> Block:
+    """The common genesis block (slot 0), shared by every party."""
+    return Block(slot=GENESIS_SLOT, parent_hash="", issuer="")
+
+
+class BlockTree:
+    """A party's local set of valid blocks, rooted at genesis.
+
+    Provides chain queries used by the longest-chain rule.  Validation is
+    structural here (parent known, slot increasing); leader-eligibility
+    and signature checks are injected by the simulation via a callback so
+    the tree stays independent of the election mechanism.
+    """
+
+    def __init__(self) -> None:
+        root = genesis_block()
+        self._blocks: dict[str, Block] = {root.block_hash: root}
+        self._children: dict[str, list[str]] = {root.block_hash: []}
+        self._depths: dict[str, int] = {root.block_hash: 0}
+        self.genesis_hash = root.block_hash
+
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block(self, block_hash: str) -> Block:
+        """Look a block up by hash."""
+        return self._blocks[block_hash]
+
+    def depth(self, block_hash: str) -> int:
+        """Chain length (number of non-genesis ancestors, inclusive)."""
+        return self._depths[block_hash]
+
+    def can_accept(self, block: Block) -> bool:
+        """Structural validity: known parent, strictly increasing slot."""
+        if block.parent_hash not in self._blocks:
+            return False
+        parent = self._blocks[block.parent_hash]
+        return block.slot > parent.slot
+
+    def add_block(self, block: Block) -> bool:
+        """Insert a structurally valid block; idempotent.
+
+        Returns ``True`` when the block is (now) present, ``False`` when
+        rejected (unknown parent or non-increasing slot).
+        """
+        block_hash = block.block_hash
+        if block_hash in self._blocks:
+            return True
+        if not self.can_accept(block):
+            return False
+        self._blocks[block_hash] = block
+        self._children[block_hash] = []
+        self._children[block.parent_hash].append(block_hash)
+        self._depths[block_hash] = self._depths[block.parent_hash] + 1
+        return True
+
+    def tips(self) -> list[str]:
+        """Hashes of leaf blocks (chains not extended by anything known)."""
+        return [h for h, children in self._children.items() if not children]
+
+    def max_depth(self) -> int:
+        """Length of the longest known chain."""
+        return max(self._depths.values())
+
+    def longest_tips(self) -> list[str]:
+        """All block hashes at maximal depth (the LCR tie set)."""
+        best = self.max_depth()
+        return [h for h, d in self._depths.items() if d == best]
+
+    def chain(self, block_hash: str) -> list[Block]:
+        """The chain from genesis to ``block_hash`` (inclusive)."""
+        chain: list[Block] = []
+        cursor = block_hash
+        while True:
+            block = self._blocks[cursor]
+            chain.append(block)
+            if block.parent_hash == "":
+                break
+            cursor = block.parent_hash
+        chain.reverse()
+        return chain
+
+    def chain_slots(self, block_hash: str) -> list[int]:
+        """Slot labels along the chain, genesis first."""
+        return [block.slot for block in self.chain(block_hash)]
+
+    def common_prefix_slot(self, first: str, second: str) -> int:
+        """Slot of the deepest common ancestor of two chains."""
+        chain_a = self.chain(first)
+        chain_b = self.chain(second)
+        last_common = GENESIS_SLOT
+        for block_a, block_b in zip(chain_a, chain_b):
+            if block_a.block_hash != block_b.block_hash:
+                break
+            last_common = block_a.slot
+        return last_common
+
+    def prefix_hash_at_slot(self, block_hash: str, slot: int) -> str:
+        """Hash of the last block with slot ≤ ``slot`` on the given chain.
+
+        The k-CP comparison primitive: ``C[0 : s]`` of Section 9.
+        """
+        chosen = self.genesis_hash
+        for block in self.chain(block_hash):
+            if block.slot <= slot:
+                chosen = block.block_hash
+            else:
+                break
+        return chosen
+
+    def all_blocks(self) -> list[Block]:
+        """All blocks, genesis included, in insertion order."""
+        return list(self._blocks.values())

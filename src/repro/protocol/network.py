@@ -1,0 +1,119 @@
+"""Round-based networks with a rushing adversary (axioms A0 and A4Δ).
+
+The paper's network is not packets-and-sockets; it is a scheduling
+adversary.  Honest broadcasts made in slot ``t`` must reach every honest
+party by the end of slot ``t + Δ`` (Δ = 0 in the synchronous model); the
+adversary sees every broadcast first ("rushing"), chooses per-recipient
+delivery slots within the deadline, chooses per-recipient *order* (which
+drives A0 tie-breaking), and may inject its own blocks to any subset of
+recipients at any time.
+
+:class:`NetworkModel` implements exactly that contract; the simulation
+engine asks it, per slot and per recipient, which messages fall due.
+Adversary strategies interact with the network only through
+:meth:`NetworkModel.broadcast` (honest, deadline-bound) and
+:meth:`NetworkModel.inject` (adversarial, unconstrained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocol.block import Block
+
+
+@dataclass
+class Delivery:
+    """One scheduled message: ``block`` reaches ``recipient`` in ``slot``."""
+
+    recipient: str
+    block: Block
+    slot: int
+    #: Within-slot delivery order (lower = earlier), adversary-chosen.
+    priority: int = 0
+
+
+class NetworkModel:
+    """Message scheduling under a Δ-bounded rushing adversary.
+
+    ``delta = 0`` gives the synchronous model of Section 2 (axiom A0):
+    slot-``t`` broadcasts are delivered before slot ``t + 1``.  The
+    adversary may *accelerate* or *reorder* within the allowed window but
+    never suppress an honest broadcast past its deadline — that invariant
+    is enforced here rather than trusted to adversary implementations.
+    """
+
+    def __init__(self, recipients: list[str], delta: int = 0) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        self.recipients = list(recipients)
+        self.delta = delta
+        self._queue: list[Delivery] = []
+        self._sequence = 0
+
+    def broadcast(
+        self,
+        block: Block,
+        sent_slot: int,
+        delays: dict[str, int] | None = None,
+        priorities: dict[str, int] | None = None,
+    ) -> None:
+        """Honest broadcast: deliver to everyone within the Δ deadline.
+
+        ``delays[name] ∈ [0, Δ]`` is the adversary's per-recipient delay
+        choice (default: maximal allowed delay 0 in the synchronous
+        model, Δ otherwise must be chosen explicitly — the default here
+        is immediate delivery, the honest-friendly schedule).
+        """
+        delays = delays or {}
+        priorities = priorities or {}
+        for recipient in self.recipients:
+            delay = delays.get(recipient, 0)
+            if not 0 <= delay <= self.delta:
+                raise ValueError(
+                    f"delay {delay} outside [0, {self.delta}] for honest "
+                    f"broadcast (axiom A0/A4Δ violation)"
+                )
+            self._push(recipient, block, sent_slot + delay,
+                       priorities.get(recipient, 0))
+
+    def inject(
+        self,
+        block: Block,
+        recipient: str,
+        deliver_slot: int,
+        priority: int = -1,
+    ) -> None:
+        """Adversarial injection: any block, any recipient, any time.
+
+        Default priority −1 delivers *before* the slot's honest messages,
+        modelling the rushing adversary's head start.
+        """
+        self._push(recipient, block, deliver_slot, priority)
+
+    def _push(
+        self, recipient: str, block: Block, slot: int, priority: int
+    ) -> None:
+        self._sequence += 1
+        delivery = Delivery(recipient, block, slot, priority)
+        # Stable sequence preserves broadcast order among equal priorities.
+        delivery.priority = priority
+        self._queue.append(delivery)
+
+    def due(self, recipient: str, slot: int) -> list[Block]:
+        """Messages for ``recipient`` due at the end of ``slot``, in order.
+
+        Delivery order is (priority, enqueue order); the adversary sets
+        priorities, so it fully controls per-recipient ordering (A0).
+        """
+        due_now = [
+            d for d in self._queue if d.recipient == recipient and d.slot <= slot
+        ]
+        due_now.sort(key=lambda d: (d.priority, self._queue.index(d)))
+        for delivery in due_now:
+            self._queue.remove(delivery)
+        return [d.block for d in due_now]
+
+    def pending_count(self) -> int:
+        """Undelivered messages (used by tests to check A0 compliance)."""
+        return len(self._queue)

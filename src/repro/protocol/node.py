@@ -1,0 +1,124 @@
+"""Honest longest-chain nodes (the protocol loop of Section 2).
+
+Each honest party runs the elementary algorithm verbatim: *"In each
+round, each participant collects all valid blockchains from the network;
+if a participant is a leader in the round, he adds a block to the longest
+chain and broadcasts the result."*
+
+A node keeps its own :class:`~repro.protocol.block.BlockTree`, validates
+incoming blocks (structure, signature, leader eligibility), tracks
+arrival order (which feeds the A0 tie-breaking rule), and mints blocks on
+the selected chain when elected.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.protocol.block import Block, BlockTree
+from repro.protocol.crypto import IdealSignatureScheme, KeyPair
+from repro.protocol.tiebreak import TieBreakRule, select_chain
+
+#: Callback checking leader eligibility: (issuer key, slot, proof) → bool.
+EligibilityCheck = Callable[[str, int, str], bool]
+
+
+class HonestNode:
+    """One honest participant: validates, selects, extends, broadcasts."""
+
+    def __init__(
+        self,
+        name: str,
+        keypair: KeyPair,
+        signatures: IdealSignatureScheme,
+        tie_break: TieBreakRule,
+        check_eligibility: EligibilityCheck,
+    ) -> None:
+        self.name = name
+        self.keypair = keypair
+        self.signatures = signatures
+        self.tie_break = tie_break
+        self.check_eligibility = check_eligibility
+        self.tree = BlockTree()
+        self._arrival_rank: dict[str, int] = {self.tree.genesis_hash: 0}
+        self._arrival_counter = 0
+        #: Blocks whose parents have not arrived yet (the network is
+        #: allowed to reorder, so children can precede parents in a slot).
+        self._orphans: list[Block] = []
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def receive(self, block: Block) -> bool:
+        """Validate and store one incoming block.
+
+        Returns ``True`` when the block (or a previously orphaned
+        descendant chain) was added.  Invalid blocks — bad signature or
+        ineligible issuer — are dropped, never orphaned.
+        """
+        if not self._is_intrinsically_valid(block):
+            return False
+        if not self.tree.can_accept(block):
+            self._orphans.append(block)
+            return False
+        self._insert(block)
+        self._drain_orphans()
+        return True
+
+    def _is_intrinsically_valid(self, block: Block) -> bool:
+        if block.parent_hash == "":
+            return False  # a second genesis is never valid
+        if not self.signatures.verify(block.issuer, block.header(), block.signature):
+            return False
+        return self.check_eligibility(block.issuer, block.slot, block.vrf_proof)
+
+    def _insert(self, block: Block) -> None:
+        if self.tree.add_block(block):
+            self._arrival_counter += 1
+            self._arrival_rank.setdefault(block.block_hash, self._arrival_counter)
+
+    def _drain_orphans(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for orphan in list(self._orphans):
+                if self.tree.can_accept(orphan):
+                    self._orphans.remove(orphan)
+                    self._insert(orphan)
+                    progress = True
+
+    # ------------------------------------------------------------------
+    # chain selection and block production
+    # ------------------------------------------------------------------
+
+    def best_tip(self) -> str:
+        """The adopted chain's tip under LCR + the node's tie-break rule."""
+        return select_chain(self.tree, self.tie_break, self._arrival_rank)
+
+    def best_chain_depth(self) -> int:
+        """Length of the adopted chain."""
+        return self.tree.depth(self.best_tip())
+
+    def mint_block(self, slot: int, vrf_proof: str, payload: str = "") -> Block:
+        """Create and sign a block extending the adopted chain."""
+        parent = self.best_tip()
+        draft = Block(
+            slot=slot,
+            parent_hash=parent,
+            issuer=self.keypair.public,
+            payload=payload,
+            vrf_proof=vrf_proof,
+        )
+        signature = self.signatures.sign(self.keypair, draft.header())
+        block = Block(
+            slot=slot,
+            parent_hash=parent,
+            issuer=self.keypair.public,
+            payload=payload,
+            vrf_proof=vrf_proof,
+            signature=signature,
+        )
+        # A leader adopts its own block immediately.
+        self._insert(block)
+        return block

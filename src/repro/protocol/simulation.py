@@ -1,0 +1,348 @@
+"""The slot-driven protocol engine and execution measurements.
+
+:class:`Simulation` wires the pieces together — election, honest nodes,
+network, adversary — and runs the round structure of Section 2:
+
+1. at the start of slot ``t`` every node ingests the messages the network
+   scheduled for it (everything due by ``t − 1``);
+2. honest leaders of slot ``t`` mint on their adopted chains and
+   broadcast; the rushing adversary observes each block immediately and
+   chooses per-recipient delays (≤ Δ) and ordering;
+3. the adversary acts: mints with its corrupted wins, injects anything it
+   has, to whomever it likes.
+
+:class:`SimulationResult` records every adopted chain per (slot, node)
+and exposes the paper's consistency predicates — settlement violations
+(Definition 3), k-CP^slot violations (Definition 24) — plus the
+execution→fork extraction that converts the run into an abstract fork
+``F ⊢ w`` for cross-validation against the combinatorial theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.alphabet import EMPTY
+from repro.core.forks import Fork
+from repro.delta.forks import DeltaFork
+from repro.protocol.adversary import Adversary, NullAdversary
+from repro.protocol.block import Block, BlockTree
+from repro.protocol.crypto import IdealSignatureScheme, IdealVrf
+from repro.protocol.leader import (
+    LeaderSchedule,
+    StakeDistribution,
+    VrfLeaderElection,
+    phi,
+)
+from repro.protocol.network import NetworkModel
+from repro.protocol.node import HonestNode
+from repro.protocol.tiebreak import TieBreakRule, adversarial_order_rule
+
+
+@dataclass
+class SlotRecord:
+    """What happened in one slot: symbol, minted blocks, adopted tips."""
+
+    slot: int
+    symbol: str
+    honest_blocks: list[Block] = field(default_factory=list)
+    adopted_tips: dict[str, str] = field(default_factory=dict)
+
+
+class Simulation:
+    """A complete configured protocol run."""
+
+    def __init__(
+        self,
+        stakes: StakeDistribution,
+        activity: float,
+        total_slots: int,
+        delta: int = 0,
+        tie_break: TieBreakRule = adversarial_order_rule,
+        adversary: Adversary | None = None,
+        randomness: str = "epoch-0",
+    ) -> None:
+        self.stakes = stakes
+        self.activity = activity
+        self.total_slots = total_slots
+        self.delta = delta
+        self.adversary = adversary if adversary is not None else NullAdversary()
+
+        self.signatures = IdealSignatureScheme(seed=f"sig|{randomness}")
+        self.election = VrfLeaderElection(
+            stakes, activity, IdealVrf(seed=f"vrf|{randomness}"), randomness
+        )
+        self._signing_keys = {
+            party.name: self.signatures.generate_keypair()
+            for party in stakes.parties
+        }
+        self._public_to_party = {
+            keypair.public: name
+            for name, keypair in self._signing_keys.items()
+        }
+
+        honest_parties = [p for p in stakes.parties if not p.corrupted]
+        self.nodes: dict[str, HonestNode] = {
+            party.name: HonestNode(
+                party.name,
+                self._signing_keys[party.name],
+                self.signatures,
+                tie_break,
+                self._check_eligibility,
+            )
+            for party in honest_parties
+        }
+        self.network = NetworkModel(list(self.nodes), delta=delta)
+        self.adversary.attach(
+            self.signatures,
+            {
+                p.name: self._signing_keys[p.name]
+                for p in stakes.parties
+                if p.corrupted
+            },
+            list(self.nodes),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_eligibility(self, issuer: str, slot: int, proof: str) -> bool:
+        """Verify the issuer's VRF proof and threshold for the slot."""
+        party_name = self._public_to_party.get(issuer)
+        if party_name is None:
+            return False
+        party = next(p for p in self.stakes.parties if p.name == party_name)
+        vrf_key = self.election.keypair(party)
+        vrf_input = f"{self.election.randomness}|slot-{slot}"
+        value = self._proof_value(proof)
+        if not self.election.vrf.verify(vrf_key.public, vrf_input, value, proof):
+            return False
+        threshold = phi(self.activity, self.stakes.relative_stake(party))
+        return value < threshold
+
+    @staticmethod
+    def _proof_value(proof: str) -> float:
+        from repro.protocol.crypto import _digest_to_unit
+
+        return _digest_to_unit(proof)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> "SimulationResult":
+        """Execute all slots and return the recorded result."""
+        schedule = self.election.schedule(self.total_slots)
+        records: list[SlotRecord] = []
+
+        for slot in range(1, self.total_slots + 1):
+            for name, node in self.nodes.items():
+                for block in self.network.due(name, slot - 1):
+                    node.receive(block)
+                    self.adversary.observe_block(block)
+
+            record = SlotRecord(slot=slot, symbol=schedule.symbol(slot))
+            leaders = schedule.leaders(slot)
+
+            honest_blocks: list[Block] = []
+            for party in leaders:
+                if party.corrupted:
+                    continue
+                _eligible, _value, proof = self.election.eligibility(party, slot)
+                node = self.nodes[party.name]
+                block = node.mint_block(slot, proof)
+                honest_blocks.append(block)
+                self.adversary.observe_block(block)
+            for block in honest_blocks:
+                delays, priorities = self.adversary.honest_delays(slot, block)
+                self.network.broadcast(block, slot, delays, priorities)
+
+            corrupted_leaders = [
+                (party, self.election.eligibility(party, slot)[2])
+                for party in leaders
+                if party.corrupted
+            ]
+            self.adversary.act(slot, corrupted_leaders, self.network)
+
+            record.honest_blocks = honest_blocks
+            record.adopted_tips = {
+                name: node.best_tip() for name, node in self.nodes.items()
+            }
+            records.append(record)
+
+        # Final drain so end-of-run views include the last slot's messages.
+        for name, node in self.nodes.items():
+            for block in self.network.due(name, self.total_slots + self.delta):
+                node.receive(block)
+
+        return SimulationResult(self, schedule, records)
+
+
+class SimulationResult:
+    """Recorded execution with the paper's consistency measurements."""
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        schedule: LeaderSchedule,
+        records: list[SlotRecord],
+    ) -> None:
+        self.simulation = simulation
+        self.schedule = schedule
+        self.records = records
+
+    @property
+    def characteristic_string(self) -> str:
+        """The execution's characteristic string (Definitions 1/20)."""
+        return self.schedule.characteristic_string()
+
+    def union_tree(self) -> BlockTree:
+        """All blocks any honest node ever accepted (the public record)."""
+        union = BlockTree()
+        pending: list[Block] = []
+        for node in self.simulation.nodes.values():
+            pending.extend(node.tree.all_blocks())
+        progress = True
+        while progress and pending:
+            progress = False
+            for block in list(pending):
+                if block.parent_hash == "" or union.add_block(block):
+                    pending.remove(block)
+                    progress = True
+        return union
+
+    # ------------------------------------------------------------------
+    # consistency predicates
+    # ------------------------------------------------------------------
+
+    def settlement_violation(self, target_slot: int, depth: int) -> bool:
+        """Did any honest observer at time ≥ target+depth see history before
+        ``target_slot`` change or disagree? (Definition 3, operationally.)
+
+        Two witnesses count: (a) two honest nodes' adopted chains at the
+        same slot ``t ≥ target + depth`` diverging before ``target_slot``;
+        (b) one node's adopted chain at ``t₂ > t₁ ≥ target + depth``
+        diverging before ``target_slot`` from its chain at ``t₁`` (a deep
+        reorg past the confirmation depth).
+        """
+        interesting = [
+            r for r in self.records if r.slot >= target_slot + depth
+        ]
+        trees = {
+            name: node.tree for name, node in self.simulation.nodes.items()
+        }
+        for record in interesting:
+            tips = list(record.adopted_tips.items())
+            for i, (name_a, tip_a) in enumerate(tips):
+                for name_b, tip_b in tips[i + 1 :]:
+                    if self._diverge_before(
+                        trees[name_a], tip_a, tip_b, target_slot
+                    ):
+                        return True
+        for name in trees:
+            previous: str | None = None
+            for record in interesting:
+                tip = record.adopted_tips[name]
+                if previous is not None and self._diverge_before(
+                    trees[name], previous, tip, target_slot
+                ):
+                    return True
+                previous = tip
+        return False
+
+    def _diverge_before(
+        self, tree: BlockTree, tip_a: str, tip_b: str, slot: int
+    ) -> bool:
+        if tip_a == tip_b:
+            return False
+        if tip_a not in tree or tip_b not in tree:
+            return False
+        meet = tree.common_prefix_slot(tip_a, tip_b)
+        prefix_a = tree.prefix_hash_at_slot(tip_a, slot)
+        prefix_b = tree.prefix_hash_at_slot(tip_b, slot)
+        return meet < slot and prefix_a != prefix_b
+
+    def cp_slot_violation(self, depth: int) -> bool:
+        """k-CP^slot check across nodes and across time (Definition 24)."""
+        trees = {
+            name: node.tree for name, node in self.simulation.nodes.items()
+        }
+        for record in self.records:
+            cutoff = record.slot - depth
+            if cutoff <= 0:
+                continue
+            tips = list(record.adopted_tips.items())
+            for i, (name_a, tip_a) in enumerate(tips):
+                tree = trees[name_a]
+                for name_b, tip_b in tips:
+                    if name_a == name_b:
+                        continue
+                    if tip_b not in tree or tip_a not in tree:
+                        continue
+                    if not self._is_slot_prefix(tree, tip_a, cutoff, tip_b):
+                        return True
+        for name, tree in trees.items():
+            previous: str | None = None
+            previous_slot = 0
+            for record in self.records:
+                tip = record.adopted_tips[name]
+                cutoff = previous_slot - depth
+                if previous is not None and cutoff > 0:
+                    if not self._is_slot_prefix(tree, previous, cutoff, tip):
+                        return True
+                previous, previous_slot = tip, record.slot
+        return False
+
+    @staticmethod
+    def _is_slot_prefix(
+        tree: BlockTree, tip_a: str, cutoff: int, tip_b: str
+    ) -> bool:
+        """Is ``chain(tip_a)[0 : cutoff]`` a prefix of ``chain(tip_b)``?"""
+        anchor = tree.prefix_hash_at_slot(tip_a, cutoff)
+        chain_b = {block.block_hash for block in tree.chain(tip_b)}
+        return anchor in chain_b
+
+    def max_reorg_depth(self) -> int:
+        """Deepest observed chain reorganisation (blocks discarded)."""
+        deepest = 0
+        trees = {
+            name: node.tree for name, node in self.simulation.nodes.items()
+        }
+        for name, tree in trees.items():
+            previous: str | None = None
+            for record in self.records:
+                tip = record.adopted_tips[name]
+                if previous is not None and previous in tree and tip in tree:
+                    meet_slot = tree.common_prefix_slot(previous, tip)
+                    meet_hash = tree.prefix_hash_at_slot(previous, meet_slot)
+                    discarded = tree.depth(previous) - tree.depth(meet_hash)
+                    deepest = max(deepest, discarded)
+                previous = tip
+        return deepest
+
+    # ------------------------------------------------------------------
+    # execution → abstract fork
+    # ------------------------------------------------------------------
+
+    def execution_fork(self) -> Fork:
+        """Convert the public record into a fork ``F ⊢ w`` (or Δ-fork).
+
+        Every block any honest node accepted becomes a vertex labelled by
+        its slot.  The tests validate the result against axioms F1–F4
+        (F4Δ when Δ > 0), closing the loop between the executable
+        protocol and the combinatorial model.
+        """
+        word = self.characteristic_string
+        union = self.union_tree()
+        if self.simulation.delta > 0:
+            fork: Fork = DeltaFork(word, self.simulation.delta)
+        else:
+            fork = Fork(word)
+        by_hash = {union.genesis_hash: fork.root}
+        blocks = sorted(
+            (b for b in union.all_blocks() if b.parent_hash != ""),
+            key=lambda b: (b.slot, b.block_hash),
+        )
+        for block in blocks:
+            parent_vertex = by_hash[block.parent_hash]
+            by_hash[block.block_hash] = fork.add_vertex(
+                parent_vertex, block.slot
+            )
+        return fork

@@ -1,0 +1,54 @@
+"""Chain-selection tie-breaking rules (axioms A0 and A0′).
+
+Under the longest-chain rule a node may face several maximal-length
+chains.  The paper analyses two regimes:
+
+* **A0 (adversarial tie-breaking)** — the rushing adversary controls
+  message order, so ties resolve in the adversary's favour; modelled by
+  ranking tied chains by arrival order (earliest first), which the
+  adversary manipulates through delivery scheduling;
+* **A0′ (consistent tie-breaking)** — all honest parties apply the same
+  deterministic rule; any such rule works, and we use the minimal block
+  hash, so two honest parties seeing the same tie set always pick the
+  same chain (Theorem 2's setting).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.protocol.block import BlockTree
+
+#: A tie-breaking rule maps (tree, tied tips, arrival ranks) to the chosen tip.
+TieBreakRule = Callable[[BlockTree, list[str], dict[str, int]], str]
+
+
+def adversarial_order_rule(
+    tree: BlockTree, tips: list[str], arrival_rank: dict[str, int]
+) -> str:
+    """Axiom A0: prefer the tip whose block arrived first.
+
+    Honest nodes keep their current chain on ties with equally long
+    later arrivals, which is exactly what lets the adversary steer ties
+    by delivering its preferred block first.
+    """
+    return min(tips, key=lambda h: (arrival_rank.get(h, 1 << 60), h))
+
+
+def consistent_hash_rule(
+    tree: BlockTree, tips: list[str], arrival_rank: dict[str, int]
+) -> str:
+    """Axiom A0′: a fixed global rule — the lexicographically least hash."""
+    return min(tips)
+
+
+def select_chain(
+    tree: BlockTree,
+    rule: TieBreakRule,
+    arrival_rank: dict[str, int],
+) -> str:
+    """Longest-chain selection with the supplied tie-breaking rule."""
+    tips = tree.longest_tips()
+    if len(tips) == 1:
+        return tips[0]
+    return rule(tree, tips, arrival_rank)

@@ -1,0 +1,69 @@
+"""Common-prefix property analysis (Section 9)."""
+
+from repro.analysis.cp import (
+    estimate_cp_violation_rate,
+    fork_violates_k_cp_slot,
+    k_cp_slot_holds_exactly,
+    satisfies_k_cp_slot,
+    uvp_free_windows,
+)
+from repro.analysis.bounds import theorem8_cp_bound
+from repro.core.balanced import figure_2_fork
+from repro.core.distributions import bernoulli_condition
+from repro.core.forks import Fork
+
+from tests.conftest import random_strings
+
+
+class TestWindows:
+    def test_all_honest_has_no_uvp_free_windows(self):
+        assert uvp_free_windows("hhhhhh", 2) == []
+
+    def test_adversarial_run_is_uvp_free(self):
+        windows = uvp_free_windows("AAAA", 2)
+        assert windows == [1, 2, 3]
+
+    def test_consistent_mode_weakly_fewer_windows(self):
+        for word in random_strings("HA", 20, 10, 30, seed=81):
+            strict = uvp_free_windows(word, 4, consistent=False)
+            relaxed = uvp_free_windows(word, 4, consistent=True)
+            assert set(relaxed) <= set(strict)
+
+
+class TestCpPredicates:
+    def test_certificate_implies_exact(self):
+        """UVP windows certify k-CP^slot; the exact check must agree."""
+        for word in random_strings("hHA", 50, 8, 30, seed=82):
+            for depth in (3, 5):
+                if satisfies_k_cp_slot(word, depth):
+                    assert k_cp_slot_holds_exactly(word, depth), (word, depth)
+
+    def test_all_honest_satisfies_cp(self):
+        assert k_cp_slot_holds_exactly("hhhhhhhh", 2)
+
+    def test_balanced_string_violates_cp(self):
+        # hAhAhA keeps two diverging maximal chains alive for 6 slots
+        assert not k_cp_slot_holds_exactly("hAhAhA", 3)
+
+    def test_fork_level_violation(self):
+        fork = figure_2_fork()
+        assert fork_violates_k_cp_slot(fork, 3)
+
+    def test_fork_level_no_violation_on_chain(self):
+        fork = Fork("hhh")
+        parent = fork.root
+        for slot in (1, 2, 3):
+            parent = fork.add_vertex(parent, slot)
+        assert not fork_violates_k_cp_slot(fork, 1)
+
+
+class TestTheorem8Comparison:
+    def test_bound_dominates_empirical_rate(self, rng):
+        epsilon, p_unique = 0.5, 0.5
+        probs = bernoulli_condition(epsilon, p_unique)
+        total_length, depth = 120, 25
+        rate = estimate_cp_violation_rate(
+            probs, total_length, depth, 800, rng
+        )
+        bound = theorem8_cp_bound(total_length, epsilon, p_unique, depth)
+        assert bound >= rate - 0.05

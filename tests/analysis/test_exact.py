@@ -1,0 +1,175 @@
+"""The exact settlement DP (Section 6.6): correctness and exactness."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.exact import (
+    compute_settlement_probabilities,
+    settlement_table,
+    settlement_violation_probability,
+    format_table,
+)
+from repro.core.distributions import (
+    bernoulli_condition,
+    from_adversarial_stake,
+    semi_synchronous_condition,
+)
+from repro.core.margin import margin_step
+from repro.core.walks import stationary_reach_ratio
+
+
+def brute_force_violation_probability(probs, depth, reach_cap=80):
+    """Scalar-state reference implementation of the same Markov chain."""
+    beta = stationary_reach_ratio(probs.epsilon)
+    p_h, p_multi, p_adv, _ = probs.as_tuple()
+    states = {}
+    for r0 in range(reach_cap):
+        states[(r0, r0)] = (1 - beta) * beta**r0
+    tail = beta**reach_cap
+    for _ in range(depth):
+        nxt = {}
+        for (r, m), mass in states.items():
+            for symbol, weight in (("h", p_h), ("H", p_multi), ("A", p_adv)):
+                if weight == 0:
+                    continue
+                nr, nm = margin_step(r, m, symbol)
+                key = (nr, nm)
+                nxt[key] = nxt.get(key, 0.0) + mass * weight
+        states = nxt
+    return sum(m for (r, mm), m in states.items() if mm >= 0) + tail
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "alpha,fraction",
+        [(0.2, 0.8), (0.4, 0.5), (0.1, 1.0), (0.3, 0.01), (0.49, 0.25)],
+    )
+    def test_dp_matches_scalar_chain(self, alpha, fraction):
+        probs = from_adversarial_stake(alpha, fraction)
+        for depth in (1, 2, 3, 5, 8):
+            dp = settlement_violation_probability(probs, depth)
+            brute = brute_force_violation_probability(probs, depth)
+            assert abs(dp - brute) < 1e-10, (alpha, fraction, depth)
+
+    def test_depth_one_closed_form(self):
+        """k = 1: violation iff the first symbol keeps the margin ≥ 0.
+
+        From (r0, r0) with r0 ~ X_∞: an 'A' always violates; honest
+        symbols violate unless r0 = 0 forces the margin negative, which
+        only happens for 'h' at r0 = 0.
+        """
+        probs = bernoulli_condition(0.4, 0.3)
+        beta = stationary_reach_ratio(0.4)
+        expected = 1.0 - probs.p_unique * (1 - beta)
+        value = settlement_violation_probability(probs, 1)
+        assert math.isclose(value, expected, rel_tol=1e-12)
+
+
+class TestMonteCarloAgreement:
+    def test_dp_matches_monte_carlo(self, rng):
+        from repro.analysis.montecarlo import estimate_settlement_violation
+
+        probs = bernoulli_condition(0.3, 0.35)
+        depth = 30
+        estimate = estimate_settlement_violation(probs, depth, 4000, rng)
+        exact = settlement_violation_probability(probs, depth)
+        assert estimate.within(exact, sigmas=4), (estimate, exact)
+
+
+class TestStructure:
+    def test_probability_decreases_with_depth(self):
+        probs = from_adversarial_stake(0.3, 0.8)
+        computation = compute_settlement_probabilities(
+            probs, [10, 20, 40, 80]
+        )
+        values = [computation[k] for k in (10, 20, 40, 80)]
+        assert values == sorted(values, reverse=True)
+        assert all(0 <= v <= 1 for v in values)
+
+    def test_probability_increases_with_adversarial_stake(self):
+        for k in (20, 60):
+            values = [
+                settlement_violation_probability(
+                    from_adversarial_stake(alpha, 0.8), k
+                )
+                for alpha in (0.1, 0.2, 0.3, 0.4)
+            ]
+            assert values == sorted(values)
+
+    def test_probability_decreases_with_unique_fraction(self):
+        """More uniquely honest slots help under adversarial tie-breaking."""
+        values = [
+            settlement_violation_probability(
+                from_adversarial_stake(0.3, fraction), 40
+            )
+            for fraction in (0.01, 0.25, 0.5, 0.9)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_finite_prefix_dominated_by_stationary(self):
+        """X_m ⪯ X_∞ ⇒ finite-|x| violation probability is smaller."""
+        probs = from_adversarial_stake(0.3, 0.8)
+        infinite = settlement_violation_probability(probs, 25)
+        for prefix_length in (0, 5, 50, 400):
+            finite = settlement_violation_probability(
+                probs, 25, prefix_length=prefix_length
+            )
+            assert finite <= infinite + 1e-12
+
+    def test_finite_prefix_converges_to_stationary(self):
+        probs = from_adversarial_stake(0.35, 0.8)
+        infinite = settlement_violation_probability(probs, 20)
+        finite = settlement_violation_probability(probs, 20, prefix_length=600)
+        # X_600 and X_∞ are distinct laws; their violation probabilities
+        # differ by the (tiny) stationarity gap, not by solver error.
+        assert math.isclose(finite, infinite, rel_tol=1e-4)
+
+    def test_empty_prefix_brute_force(self):
+        """|x| = 0: exhaustive sum over all suffixes of length 7."""
+        import itertools
+
+        probs = bernoulli_condition(0.2, 0.3)
+        p = {"h": probs.p_unique, "H": probs.p_multi, "A": probs.p_adversarial}
+        total = 0.0
+        for symbols in itertools.product("hHA", repeat=7):
+            r, m = 0, 0
+            weight = 1.0
+            for s in symbols:
+                r, m = margin_step(r, m, s)
+                weight *= p[s]
+            if m >= 0:
+                total += weight
+        dp = settlement_violation_probability(probs, 7, prefix_length=0)
+        assert math.isclose(dp, total, rel_tol=1e-12)
+
+
+class TestValidation:
+    def test_rejects_semi_synchronous_parameters(self):
+        probs = semi_synchronous_condition(0.5, 0.1, 0.2)
+        with pytest.raises(ValueError):
+            settlement_violation_probability(probs, 10)
+
+    def test_rejects_empty_checkpoints(self):
+        probs = bernoulli_condition(0.3, 0.3)
+        with pytest.raises(ValueError):
+            compute_settlement_probabilities(probs, [])
+        with pytest.raises(ValueError):
+            compute_settlement_probabilities(probs, [0])
+
+
+class TestTableGeneration:
+    def test_small_table_shape(self):
+        table = settlement_table(
+            alphas=(0.2, 0.3), unique_fractions=(1.0, 0.5), depths=(10, 20)
+        )
+        assert len(table) == 8
+        assert all(0 <= v <= 1 for v in table.values())
+
+    def test_format_table_runs(self):
+        table = settlement_table(
+            alphas=(0.3,), unique_fractions=(0.5,), depths=(10,)
+        )
+        text = format_table(table)
+        assert "α=0.30" in text

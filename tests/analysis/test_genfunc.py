@@ -1,0 +1,184 @@
+"""Generating functions of Section 5: coefficients, identities, radii."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import genfunc
+from repro.core.walks import bias_probabilities
+
+
+class TestSeriesArithmetic:
+    def test_multiply(self):
+        a = np.array([1.0, 1.0])
+        b = np.array([1.0, 2.0, 1.0])
+        product = genfunc.series_multiply(a, b, 4)
+        assert list(product) == [1.0, 3.0, 3.0, 1.0, 0.0]
+
+    def test_power(self):
+        base = np.array([0.0, 1.0, 1.0])
+        cube = genfunc.series_power(base, 3, 6)
+        # (Z + Z^2)^3 = Z^3 + 3Z^4 + 3Z^5 + Z^6
+        assert list(cube) == [0, 0, 0, 1, 3, 3, 1]
+
+    def test_compose(self):
+        outer = np.array([1.0, 1.0, 1.0])  # 1 + x + x^2
+        inner = np.array([0.0, 2.0])  # 2Z
+        composed = genfunc.series_compose(outer, inner, 3)
+        assert list(composed) == [1.0, 2.0, 4.0, 0.0]
+
+    def test_compose_requires_zero_constant(self):
+        with pytest.raises(ValueError):
+            genfunc.series_compose(
+                np.array([1.0]), np.array([1.0, 1.0]), 3
+            )
+
+    def test_inverse_one_minus(self):
+        f = np.array([0.0, 0.5])
+        inv = genfunc.series_inverse_one_minus(f, 4)
+        assert np.allclose(inv, [1, 0.5, 0.25, 0.125, 0.0625])
+
+    def test_inverse_identity(self):
+        f = np.array([0.0, 0.3, 0.2, 0.1])
+        inv = genfunc.series_inverse_one_minus(f, 10)
+        one_minus_f = -f.copy()
+        one_minus_f[0] += 1.0
+        product = genfunc.series_multiply(one_minus_f, inv, 10)
+        assert math.isclose(product[0], 1.0)
+        assert np.allclose(product[1:], 0.0, atol=1e-12)
+
+
+class TestCatalanNumbers:
+    def test_first_values(self):
+        values = [genfunc.catalan_number(n) for n in range(6)]
+        assert values == [1, 1, 2, 5, 14, 42]
+
+
+class TestWalkSeries:
+    def test_descent_is_probability_series(self):
+        series = genfunc.descent_series(0.3, 400)
+        assert series[0] == 0.0
+        assert series.min() >= 0.0
+        assert series.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_descent_satisfies_functional_equation(self):
+        """D = qZ + pZ D² as truncated series."""
+        epsilon = 0.25
+        p, q = bias_probabilities(epsilon)
+        order = 60
+        descent = genfunc.descent_series(epsilon, order)
+        squared = genfunc.series_multiply(descent, descent, order)
+        rhs = p * genfunc.z_times(squared, order)
+        rhs[1] += q
+        assert np.allclose(descent, rhs, atol=1e-12)
+
+    def test_ascent_mass_is_ruin_probability(self):
+        epsilon = 0.3
+        p, q = bias_probabilities(epsilon)
+        series = genfunc.ascent_series(epsilon, 600)
+        assert series.sum() == pytest.approx(p / q, abs=1e-6)
+
+    def test_descent_coefficients_match_simulation(self, rng):
+        from repro.core.walks import sample_descent_time
+
+        epsilon = 0.3
+        series = genfunc.descent_series(epsilon, 20)
+        samples = [sample_descent_time(epsilon, rng) for _ in range(20000)]
+        for t in (1, 3, 5, 7):
+            empirical = sum(1 for s in samples if s == t) / len(samples)
+            assert abs(empirical - series[t]) < 0.01
+
+
+class TestDominatingSeries:
+    def test_bound1_series_is_probability_series(self):
+        series = genfunc.bound1_dominating_series(0.3, 0.4, 800)
+        assert series.min() >= -1e-15
+        assert series.sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_bound1_leading_coefficient(self):
+        """ĉ₁ = q_h ε / q — the first slot is an immediate success."""
+        epsilon, q_unique = 0.3, 0.4
+        _, q = bias_probabilities(epsilon)
+        series = genfunc.bound1_dominating_series(epsilon, q_unique, 16)
+        assert series[1] == pytest.approx(q_unique * epsilon / q, rel=1e-12)
+
+    def test_bound2_series_is_probability_series(self):
+        series = genfunc.bound2_dominating_series(0.3, 800)
+        assert series.min() >= -1e-15
+        assert series.sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_bound2_leading_coefficients(self):
+        """m̂₁ = εq (hand-computed); m̂₂ = 0; m̂₃ = εd₃ (the erratum check)."""
+        epsilon = 0.3
+        p, q = bias_probabilities(epsilon)
+        series = genfunc.bound2_dominating_series(epsilon, 16)
+        descent = genfunc.descent_series(epsilon, 16)
+        assert series[1] == pytest.approx(epsilon * q, rel=1e-12)
+        assert series[2] == pytest.approx(0.0, abs=1e-15)
+        assert series[3] == pytest.approx(epsilon * descent[3], rel=1e-12)
+
+    def test_prefix_correction_is_probability_series(self):
+        series = genfunc.stationary_prefix_correction(0.3, 800)
+        assert series.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_tail_sum(self):
+        series = np.array([0.0, 0.5, 0.3, 0.2])
+        assert genfunc.tail_sum(series, 2) == pytest.approx(0.5)
+        assert genfunc.tail_sum(series, 0) == pytest.approx(1.0)
+        assert genfunc.tail_sum(series, 10) == 0.0
+
+
+class TestRadii:
+    def test_r1_formula_asymptotics(self):
+        """R₁ = 1 + ε³/2 + O(ε⁴) (Eq. (5))."""
+        for epsilon in (0.05, 0.1, 0.2):
+            r1 = genfunc.radius_bound_r1(epsilon)
+            assert r1 == pytest.approx(1 + epsilon**3 / 2, abs=epsilon**4 * 4)
+
+    def test_r2_below_r1_when_unique_mass_is_small(self):
+        """With q_h small the denominator F reaches 1 inside the disc.
+
+        (For moderate q_h — e.g. 0.1 at ε = 0.3 — F stays below 1 on the
+        whole convergence interval and R = R₁ binds instead; both regimes
+        are exercised.)
+        """
+        epsilon = 0.3
+        r1 = genfunc.radius_bound_r1(epsilon)
+        r2_small = genfunc.radius_bound_r2(epsilon, q_unique=0.02)
+        assert 1.0 < r2_small < r1
+        r2_moderate = genfunc.radius_bound_r2(epsilon, q_unique=0.1)
+        assert r2_moderate == pytest.approx(r1)
+
+    def test_r2_equals_r1_when_all_honest_unique(self):
+        """q_H = 0: F(z) < 1 on the whole interval (the paper's special case)."""
+        epsilon = 0.3
+        _, q = bias_probabilities(epsilon)
+        r2 = genfunc.radius_bound_r2(epsilon, q_unique=q)
+        assert r2 == pytest.approx(genfunc.radius_bound_r1(epsilon))
+
+    def test_decay_rate_shape(self):
+        """rate ≈ Θ(min(ε³, ε²q_h)): ordering across parameter ranges."""
+        # fixed epsilon, shrinking q_h: rate decreases
+        rates = [
+            genfunc.bound1_decay_rate(0.3, q_unique)
+            for q_unique in (0.6, 0.3, 0.1, 0.02)
+        ]
+        assert rates == sorted(rates, reverse=True)
+        # rate is positive whenever q_h > 0
+        assert rates[-1] > 0
+
+    def test_bound2_decay_rate_epsilon_cubed(self):
+        for epsilon in (0.1, 0.2):
+            rate = genfunc.bound2_decay_rate(epsilon)
+            assert rate == pytest.approx(epsilon**3 / 2, rel=0.4)
+
+    def test_series_tail_decays_at_radius_rate(self):
+        """Coefficient tails of Ĉ decay like R^{-k} (Theorem 2.19 of [12])."""
+        epsilon, q_unique = 0.4, 0.3
+        series = genfunc.bound1_dominating_series(epsilon, q_unique, 3000)
+        rate = genfunc.bound1_decay_rate(epsilon, q_unique)
+        t1 = genfunc.tail_sum(series, 400)
+        t2 = genfunc.tail_sum(series, 800)
+        observed_rate = -(math.log(t2) - math.log(t1)) / 400
+        assert observed_rate == pytest.approx(rate, rel=0.15)

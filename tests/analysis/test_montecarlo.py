@@ -1,0 +1,90 @@
+"""Monte-Carlo estimators: calibration and cross-checks."""
+
+import random
+
+from repro.analysis.exact import settlement_violation_probability
+from repro.analysis.montecarlo import (
+    Estimate,
+    estimate_settlement_violation,
+    estimate_violation_from_sampler,
+    sample_initial_reach,
+)
+from repro.core.distributions import (
+    bernoulli_condition,
+    sample_characteristic_string,
+    sample_martingale_string,
+)
+from repro.core.walks import stationary_reach_ratio
+
+
+class TestEstimate:
+    def test_within(self):
+        estimate = Estimate(0.5, 0.01, 1000)
+        assert estimate.within(0.52, sigmas=4)
+        assert not estimate.within(0.60, sigmas=4)
+
+
+class TestInitialReach:
+    def test_matches_geometric_law(self, rng):
+        epsilon = 0.3
+        beta = stationary_reach_ratio(epsilon)
+        samples = [sample_initial_reach(epsilon, rng) for _ in range(8000)]
+        for k in (0, 1, 3):
+            expected = (1 - beta) * beta**k
+            observed = sum(1 for s in samples if s == k) / len(samples)
+            assert abs(observed - expected) < 0.02
+
+
+class TestSettlementEstimator:
+    def test_agrees_with_exact_dp(self, rng):
+        probs = bernoulli_condition(0.4, 0.3)
+        estimate = estimate_settlement_violation(probs, 20, 4000, rng)
+        exact = settlement_violation_probability(probs, 20)
+        assert estimate.within(exact, sigmas=4)
+
+    def test_finite_prefix_variant(self, rng):
+        probs = bernoulli_condition(0.4, 0.3)
+        estimate = estimate_settlement_violation(
+            probs, 15, 3000, rng, prefix_length=10
+        )
+        exact = settlement_violation_probability(probs, 15, prefix_length=10)
+        assert estimate.within(exact, sigmas=4)
+
+
+class TestSamplerBridge:
+    def test_iid_sampler_matches_exact_zero_prefix(self, rng):
+        probs = bernoulli_condition(0.3, 0.4)
+        slot, depth = 1, 18
+
+        estimate = estimate_violation_from_sampler(
+            lambda: sample_characteristic_string(probs, slot + depth, rng),
+            slot,
+            depth,
+            3000,
+        )
+        exact = settlement_violation_probability(
+            probs, depth, prefix_length=slot - 1
+        )
+        assert estimate.within(exact, sigmas=4)
+
+    def test_martingale_sampler_is_dominated(self, rng):
+        """Theorem 1's dominance: damped sampler ≤ i.i.d. probability."""
+        probs = bernoulli_condition(0.2, 0.3)
+        slot, depth = 6, 15
+        length = slot + depth
+
+        damped = estimate_violation_from_sampler(
+            lambda: sample_martingale_string(probs, length, rng, 0.2),
+            slot,
+            depth,
+            4000,
+        )
+        iid = estimate_violation_from_sampler(
+            lambda: sample_characteristic_string(probs, length, rng),
+            slot,
+            depth,
+            4000,
+        )
+        assert damped.value <= iid.value + 4 * (
+            damped.standard_error + iid.standard_error
+        )

@@ -1,0 +1,39 @@
+"""Shared fixtures: deterministic RNGs and exhaustive string families."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A deterministic RNG; tests must not depend on global random state."""
+    return random.Random(0xC0FFEE)
+
+
+def all_strings(alphabet: str, max_length: int, min_length: int = 0):
+    """Every string over ``alphabet`` with length in [min_length, max_length]."""
+    for length in range(min_length, max_length + 1):
+        for symbols in itertools.product(alphabet, repeat=length):
+            yield "".join(symbols)
+
+
+def random_strings(
+    alphabet: str,
+    count: int,
+    min_length: int,
+    max_length: int,
+    seed: int,
+) -> list[str]:
+    """A reproducible sample of random strings."""
+    generator = random.Random(seed)
+    words = []
+    for _ in range(count):
+        length = generator.randint(min_length, max_length)
+        words.append(
+            "".join(generator.choice(alphabet) for _ in range(length))
+        )
+    return words

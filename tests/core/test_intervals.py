@@ -1,0 +1,80 @@
+"""Heavy intervals and the interval oracle (Section 3.1)."""
+
+import pytest
+
+from repro.core.alphabet import is_hh_heavy
+from repro.core.intervals import (
+    IntervalOracle,
+    all_a_heavy_intervals,
+    maximal_a_heavy_interval,
+)
+
+from tests.conftest import all_strings
+
+
+class TestIntervalOracle:
+    def test_walk_values(self):
+        oracle = IntervalOracle("hAAh")
+        assert [oracle.walk(t) for t in range(5)] == [0, -1, 0, 1, 0]
+
+    def test_single_slot_intervals(self):
+        oracle = IntervalOracle("hA")
+        assert oracle.is_hh_heavy(1, 1)
+        assert oracle.is_a_heavy(2, 2)
+
+    def test_counts(self):
+        oracle = IntervalOracle("hHA.h")
+        assert oracle.honest_count(1, 5) == 3
+        assert oracle.adversarial_count(1, 5) == 1
+        assert oracle.empty_count(1, 5) == 1
+
+    def test_oracle_matches_direct_counting(self):
+        for word in all_strings("hHA", 5, min_length=1):
+            oracle = IntervalOracle(word)
+            for start in range(1, len(word) + 1):
+                for stop in range(start, len(word) + 1):
+                    expected = is_hh_heavy(word[start - 1 : stop])
+                    assert oracle.is_hh_heavy(start, stop) == expected
+
+    def test_out_of_range_rejected(self):
+        oracle = IntervalOracle("hA")
+        with pytest.raises(IndexError):
+            oracle.is_hh_heavy(0, 1)
+        with pytest.raises(IndexError):
+            oracle.is_hh_heavy(1, 3)
+        with pytest.raises(IndexError):
+            oracle.is_hh_heavy(2, 1)
+
+    def test_empty_slots_are_neutral(self):
+        oracle = IntervalOracle("h..A")
+        # one honest vs one adversarial: tie, A-heavy
+        assert oracle.is_a_heavy(1, 4)
+        assert oracle.is_hh_heavy(1, 3)
+
+
+class TestAHeavyIntervals:
+    def test_all_a_heavy_intervals_simple(self):
+        heavy = all_a_heavy_intervals("hA")
+        assert (2, 2) in heavy
+        assert (1, 2) in heavy  # tie counts as A-heavy
+        assert (1, 1) not in heavy
+
+    def test_maximal_interval_contains_slot(self):
+        interval = maximal_a_heavy_interval("hAAh", 2)
+        assert interval is not None
+        start, stop = interval
+        assert start <= 2 <= stop
+
+    def test_maximal_interval_none_when_slot_shielded(self):
+        # 'hhh' has no A-heavy interval at all
+        assert maximal_a_heavy_interval("hhh", 2) is None
+
+    def test_maximal_interval_is_maximal(self):
+        word = "hAAhA"
+        slot = 3
+        interval = maximal_a_heavy_interval(word, slot)
+        assert interval is not None
+        width = interval[1] - interval[0]
+        for start, stop in all_a_heavy_intervals(word):
+            if start <= slot <= stop:
+                assert stop - start <= width

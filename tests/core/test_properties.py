@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the load-bearing identities of the reproduction with random
+generation rather than fixed fixtures: recurrence consistency, dominance
+monotonicity, Catalan/UVP equivalences, and A* canonicality.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adversary_star import build_canonical_fork
+from repro.core.catalan import catalan_slots, catalan_slots_naive
+from repro.core.margin import (
+    margin_of_fork,
+    margin_sequence,
+    relative_margin,
+)
+from repro.core.reach import max_reach, reach_sequence, rho
+from repro.core.uvp import has_uvp, has_uvp_by_margin
+
+words = st.text(alphabet="hHA", min_size=0, max_size=40)
+short_words = st.text(alphabet="hHA", min_size=1, max_size=14)
+bivalent_words = st.text(alphabet="HA", min_size=1, max_size=40)
+
+
+@given(words)
+def test_reach_sequence_steps_are_pm_one(word):
+    sequence = reach_sequence(word)
+    assert sequence[0] == 0
+    for before, after, symbol in zip(sequence, sequence[1:], word):
+        if symbol == "A":
+            assert after == before + 1
+        else:
+            assert after == max(before - 1, 0)
+
+
+@given(words)
+def test_reach_is_nonnegative(word):
+    assert rho(word) >= 0
+
+
+@given(words, st.data())
+def test_margin_never_exceeds_reach(word, data):
+    prefix_length = data.draw(st.integers(0, len(word)))
+    assert relative_margin(word, prefix_length) <= rho(word)
+
+
+@given(words, st.data())
+def test_margin_changes_by_at_most_one_per_symbol(word, data):
+    prefix_length = data.draw(st.integers(0, len(word)))
+    sequence = margin_sequence(word, prefix_length)
+    for before, after in zip(sequence, sequence[1:]):
+        assert abs(after - before) <= 1
+
+
+@given(words)
+def test_margin_of_full_prefix_is_reach(word):
+    assert relative_margin(word, len(word)) == rho(word)
+
+
+@given(words)
+def test_appending_adversarial_increments_both(word):
+    assert rho(word + "A") == rho(word) + 1
+    assert relative_margin(word + "A", 0) == relative_margin(word, 0) + 1
+
+
+@given(words)
+def test_catalan_fast_equals_naive(word):
+    assert catalan_slots(word) == catalan_slots_naive(word)
+
+
+@given(words)
+def test_catalan_upgrade_invariance(word):
+    """Replacing h by H preserves Catalan slots (both count as honest)."""
+    assert catalan_slots(word) == catalan_slots(word.replace("h", "H"))
+
+
+@given(words, st.data())
+def test_uvp_characterisations_agree(word, data):
+    if not word:
+        return
+    slot = data.draw(st.integers(1, len(word)))
+    assert has_uvp(word, slot) == has_uvp_by_margin(word, slot)
+
+
+@given(words)
+def test_adversarial_suffix_destroys_trailing_catalan(word):
+    """Appending enough A symbols removes every Catalan slot."""
+    poisoned = word + "A" * (len(word) + 1)
+    assert catalan_slots(poisoned) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(short_words, st.data())
+def test_adversary_star_is_canonical(word, data):
+    fork = build_canonical_fork(word)
+    assert max_reach(fork) == rho(word)
+    prefix_length = data.draw(st.integers(0, len(word)))
+    assert margin_of_fork(fork, prefix_length) == relative_margin(
+        word, prefix_length
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(short_words)
+def test_adversary_star_output_is_closed_and_valid(word):
+    fork = build_canonical_fork(word)
+    fork.validate()
+    assert fork.is_closed()
+
+
+@given(bivalent_words)
+def test_bivalent_margin_never_negative_without_unique_slots(word):
+    """With no h symbols the margin recurrence never drops below 0 from 0.
+
+    This is the quantitative face of "all existing analyses break down
+    when p_h = 0": under adversarial tie-breaking the margin cannot be
+    driven negative by H symbols alone once it is non-negative.
+    """
+    if relative_margin(word, 0) < 0:
+        # can only happen via an h symbol; bivalent words exclude it
+        raise AssertionError("bivalent margin went negative")
+
+
+@given(words, st.data())
+def test_settled_slots_grow_monotonically_with_depth(word, data):
+    from repro.core.settlement import is_k_settled
+
+    if not word:
+        return
+    slot = data.draw(st.integers(1, len(word)))
+    depths = range(0, len(word) - slot + 2)
+    flags = [is_k_settled(word, slot, d) for d in depths]
+    for earlier, later in zip(flags, flags[1:]):
+        if earlier:
+            assert later
+
+
+@given(st.text(alphabet="hHA.", min_size=0, max_size=40), st.integers(0, 6))
+def test_reduction_length_and_alphabet(word, delta):
+    from repro.delta.reduction import reduce_string
+
+    reduced = reduce_string(word, delta)
+    assert len(reduced) == sum(1 for c in word if c != ".")
+    assert set(reduced) <= set("hHA")
+
+
+@given(st.text(alphabet="hHA.", min_size=0, max_size=40), st.integers(0, 6))
+def test_reduction_monotone_in_delta(word, delta):
+    """Larger Δ yields a more adversarial reduced string (Def. 6 order)."""
+    from repro.core.alphabet import string_leq
+    from repro.delta.reduction import reduce_string
+
+    smaller = reduce_string(word, delta)
+    larger = reduce_string(word, delta + 1)
+    assert string_leq(smaller, larger)

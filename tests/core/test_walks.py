@@ -1,0 +1,119 @@
+"""Biased walks and the X_∞ barrier law (Section 5, Eq. (9))."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.walks import (
+    ascent_time,
+    bias_probabilities,
+    descent_time,
+    expected_descent_time,
+    geometric_tail_exponent,
+    reflected_walk,
+    ruin_probability,
+    sample_descent_time,
+    sample_reflected_walk_height,
+    stationary_reach_pmf,
+    stationary_reach_ratio,
+    stationary_reach_tail,
+    walk_path,
+)
+from repro.core.reach import reach_sequence
+
+
+class TestBias:
+    def test_bias_probabilities(self):
+        p, q = bias_probabilities(0.2)
+        assert math.isclose(p, 0.4) and math.isclose(q, 0.6)
+        assert math.isclose(q - p, 0.2)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            bias_probabilities(0.0)
+        with pytest.raises(ValueError):
+            bias_probabilities(1.0)
+
+    def test_ruin_probability(self):
+        assert math.isclose(ruin_probability(0.2), 0.4 / 0.6)
+
+
+class TestStationaryLaw:
+    def test_ratio(self):
+        assert math.isclose(stationary_reach_ratio(0.2), 0.8 / 1.2)
+
+    def test_pmf_is_geometric(self):
+        pmf = stationary_reach_pmf(0.3, 10)
+        beta = stationary_reach_ratio(0.3)
+        for k in range(10):
+            assert math.isclose(pmf[k + 1] / pmf[k], beta)
+
+    def test_pmf_plus_tail_sums_to_one(self):
+        pmf = stationary_reach_pmf(0.25, 40)
+        tail = stationary_reach_tail(0.25, 41)
+        assert math.isclose(sum(pmf) + tail, 1.0)
+
+    def test_reflected_walk_converges_to_stationary_law(self, rng):
+        """Empirical X_t distribution approaches X_∞ (Eq. (9))."""
+        epsilon = 0.4
+        beta = stationary_reach_ratio(epsilon)
+        samples = [
+            sample_reflected_walk_height(epsilon, 200, rng)
+            for _ in range(4000)
+        ]
+        for k in (0, 1, 2):
+            expected = (1 - beta) * beta**k
+            observed = sum(1 for s in samples if s == k) / len(samples)
+            assert abs(observed - expected) < 0.03
+
+    def test_stationary_law_dominates_finite_time(self, rng):
+        """X_m ⪯ X_∞ ([4, Lemma 6.1]): finite-time tails are smaller."""
+        epsilon = 0.3
+        samples = [
+            sample_reflected_walk_height(epsilon, 30, rng) for _ in range(4000)
+        ]
+        for threshold in (1, 2, 4):
+            empirical_tail = sum(1 for s in samples if s >= threshold) / len(
+                samples
+            )
+            assert empirical_tail <= stationary_reach_tail(
+                epsilon, threshold
+            ) + 0.02
+
+
+class TestPathHelpers:
+    def test_walk_path(self):
+        assert walk_path("AhH.") == [0, 1, 0, -1, -1]
+
+    def test_reflected_walk_is_nonnegative(self):
+        heights = reflected_walk("AAhhhhA")
+        assert all(h >= 0 for h in heights)
+
+    def test_reflected_walk_equals_reach_recurrence(self):
+        """X_t of the walk equals ρ(prefix) — the Theorem 5 connection."""
+        for word in ("hAhA", "AAAh", "HhAAHh", "hhhhAA"):
+            assert reflected_walk(word) == reach_sequence(word)
+
+    def test_descent_time(self):
+        assert descent_time("hAA") == 1
+        assert descent_time("AhhA") == 3
+        assert descent_time("AA") is None
+
+    def test_ascent_time(self):
+        assert ascent_time("Ah") == 1
+        assert ascent_time("hh") is None
+
+
+class TestSampledStoppingTimes:
+    def test_descent_time_mean(self, rng):
+        """E[first descent] = 1/ε."""
+        epsilon = 0.5
+        samples = [sample_descent_time(epsilon, rng) for _ in range(4000)]
+        assert all(s is not None for s in samples)
+        mean = sum(samples) / len(samples)
+        assert abs(mean - expected_descent_time(epsilon)) < 0.15
+
+    def test_geometric_tail_exponent_positive(self):
+        assert geometric_tail_exponent(0.3) > 0
+        assert geometric_tail_exponent(0.5) > geometric_tail_exponent(0.1)

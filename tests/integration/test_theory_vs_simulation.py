@@ -1,0 +1,149 @@
+"""Closing the loop: the executable protocol versus the combinatorial theory.
+
+These tests take real protocol executions and check them against the
+paper's abstract machinery: extracted forks satisfy the axioms, observed
+violations respect the optimal-adversary bounds, and the leader election
+induces exactly the characteristic-string law the analysis assumes.
+"""
+
+import random
+
+from repro.analysis.exact import settlement_violation_probability
+from repro.core.catalan import catalan_slots
+from repro.core.margin import relative_margin
+from repro.core.settlement import is_k_settled
+from repro.delta.reduction import reduce_string
+from repro.protocol.adversary import PrivateChainAdversary
+from repro.protocol.leader import (
+    StakeDistribution,
+    induced_slot_probabilities,
+)
+from repro.protocol.simulation import Simulation
+
+
+class TestForkExtraction:
+    def test_extracted_forks_satisfy_axioms_many_seeds(self):
+        for seed in range(6):
+            stakes = StakeDistribution.uniform(5, 2)
+            simulation = Simulation(
+                stakes,
+                activity=0.4,
+                total_slots=60,
+                adversary=PrivateChainAdversary(target_slot=10, hold=5),
+                randomness=f"loop-{seed}",
+            )
+            result = simulation.run()
+            fork = result.execution_fork()
+            fork.validate()
+
+    def test_extracted_fork_word_matches_schedule(self):
+        stakes = StakeDistribution.uniform(4, 1)
+        result = Simulation(
+            stakes, activity=0.5, total_slots=40, randomness="w"
+        ).run()
+        fork = result.execution_fork()
+        assert fork.word == result.characteristic_string
+
+
+class TestObservedViolationsRespectTheory:
+    def test_protocol_violations_imply_margin_violations(self):
+        """Any settlement violation observed in a run must be licensed by
+        the combinatorial model: the margin for that slot (on the reduced
+        string) must be non-negative at some point past the depth."""
+        for seed in range(8):
+            stakes = StakeDistribution.uniform(5, 5)
+            target, depth = 12, 3
+            simulation = Simulation(
+                stakes,
+                activity=0.4,
+                total_slots=100,
+                adversary=PrivateChainAdversary(
+                    target_slot=target, hold=depth, patience=70
+                ),
+                randomness=f"viol-{seed}",
+            )
+            result = simulation.run()
+            if not result.settlement_violation(target, depth):
+                continue
+            word = reduce_string(result.characteristic_string, 0)
+            mapping_slot = sum(
+                1
+                for c in result.characteristic_string[:target]
+                if c != "."
+            )
+            # margin-based settlement must also flag the slot (Fact 6)
+            assert not is_k_settled(word, max(mapping_slot, 1), depth)
+
+    def test_observed_rate_below_optimal_adversary_probability(self):
+        """The private-chain attacker cannot beat the exact optimum."""
+        stakes = StakeDistribution.uniform(6, 4)
+        activity = 0.4
+        induced = induced_slot_probabilities(stakes, activity)
+        word_probs = reduce_string  # silence linters; not used directly
+        # reduce to synchronous parameters (delta = 0 drops empty slots)
+        from repro.core.distributions import SlotProbabilities
+
+        scale = 1.0 / induced.activity
+        synchronous = SlotProbabilities(
+            induced.p_unique * scale,
+            induced.p_multi * scale,
+            induced.p_adversarial * scale,
+        )
+        depth = 4
+        optimal = settlement_violation_probability(synchronous, depth)
+
+        wins = 0
+        trials = 12
+        for seed in range(trials):
+            simulation = Simulation(
+                stakes,
+                activity,
+                total_slots=90,
+                adversary=PrivateChainAdversary(
+                    target_slot=10, hold=depth, patience=60
+                ),
+                randomness=f"rate-{seed}",
+            )
+            if simulation.run().settlement_violation(10, depth):
+                wins += 1
+        observed = wins / trials
+        # generous slack: 12 trials of a suboptimal attacker
+        assert observed <= optimal + 0.35
+
+
+class TestInducedLawMatchesAnalysis:
+    def test_catalan_slots_of_executions_settle_them(self):
+        """Catalan slots of the reduced execution string really are
+        barriers: the union block tree never forks across them."""
+        for seed in range(4):
+            stakes = StakeDistribution.uniform(6, 2)
+            simulation = Simulation(
+                stakes,
+                activity=0.35,
+                total_slots=80,
+                adversary=PrivateChainAdversary(target_slot=20, hold=5),
+                randomness=f"catalan-{seed}",
+            )
+            result = simulation.run()
+            word = result.characteristic_string
+            reduced = reduce_string(word, 0)
+            mapping = {}
+            position = 0
+            for index, symbol in enumerate(word, start=1):
+                if symbol != ".":
+                    position += 1
+                    mapping[position] = index
+            union = result.union_tree()
+            final_tips = result.records[-1].adopted_tips
+            for reduced_slot in catalan_slots(reduced):
+                source_slot = mapping[reduced_slot]
+                anchors = {
+                    union.prefix_hash_at_slot(tip, source_slot)
+                    for tip in final_tips.values()
+                    if tip in union
+                }
+                # every adopted chain commits to a common prefix at the
+                # Catalan slot — margins for it are negative forever after
+                assert relative_margin(reduced, reduced_slot - 1) < 0 or (
+                    len(anchors) == 1
+                )

@@ -1,0 +1,85 @@
+"""The Δ-bounded rushing-adversary network (axioms A0, A4Δ)."""
+
+import pytest
+
+from repro.protocol.block import Block
+from repro.protocol.network import NetworkModel
+
+
+def make_block(slot: int, tag: str) -> Block:
+    return Block(slot=slot, parent_hash="p", issuer=tag)
+
+
+class TestSynchronousDelivery:
+    def test_broadcast_reaches_everyone_same_slot(self):
+        net = NetworkModel(["a", "b"], delta=0)
+        block = make_block(3, "x")
+        net.broadcast(block, sent_slot=3)
+        assert net.due("a", 3) == [block]
+        assert net.due("b", 3) == [block]
+        assert net.pending_count() == 0
+
+    def test_delay_beyond_delta_rejected(self):
+        net = NetworkModel(["a"], delta=0)
+        with pytest.raises(ValueError):
+            net.broadcast(make_block(1, "x"), 1, delays={"a": 1})
+
+    def test_messages_not_due_early(self):
+        net = NetworkModel(["a"], delta=2)
+        net.broadcast(make_block(1, "x"), 1, delays={"a": 2})
+        assert net.due("a", 2) == []
+        assert len(net.due("a", 3)) == 1
+
+
+class TestDeltaDelivery:
+    def test_per_recipient_delays(self):
+        net = NetworkModel(["a", "b"], delta=3)
+        block = make_block(1, "x")
+        net.broadcast(block, 1, delays={"a": 0, "b": 3})
+        assert net.due("a", 1) == [block]
+        assert net.due("b", 1) == []
+        assert net.due("b", 4) == [block]
+
+    def test_negative_delay_rejected(self):
+        net = NetworkModel(["a"], delta=3)
+        with pytest.raises(ValueError):
+            net.broadcast(make_block(1, "x"), 1, delays={"a": -1})
+
+
+class TestRushingAdversary:
+    def test_injection_unconstrained_by_delta(self):
+        net = NetworkModel(["a"], delta=0)
+        late = make_block(1, "withheld")
+        net.inject(late, "a", deliver_slot=9)
+        assert net.due("a", 8) == []
+        assert net.due("a", 9) == [late]
+
+    def test_injection_targets_single_recipient(self):
+        net = NetworkModel(["a", "b"], delta=0)
+        net.inject(make_block(1, "x"), "a", 1)
+        assert len(net.due("a", 1)) == 1
+        assert net.due("b", 1) == []
+
+    def test_injected_blocks_rush_ahead(self):
+        """Default injection priority −1 beats honest broadcasts."""
+        net = NetworkModel(["a"], delta=0)
+        honest = make_block(2, "honest")
+        adversarial = make_block(2, "adv")
+        net.broadcast(honest, 2)
+        net.inject(adversarial, "a", 2)
+        assert net.due("a", 2) == [adversarial, honest]
+
+    def test_priority_ordering_controls_sequence(self):
+        net = NetworkModel(["a"], delta=0)
+        first = make_block(1, "first")
+        second = make_block(1, "second")
+        net.broadcast(first, 1, priorities={"a": 5})
+        net.broadcast(second, 1, priorities={"a": 1})
+        assert net.due("a", 1) == [second, first]
+
+    def test_equal_priority_preserves_broadcast_order(self):
+        net = NetworkModel(["a"], delta=0)
+        blocks = [make_block(1, f"b{i}") for i in range(4)]
+        for block in blocks:
+            net.broadcast(block, 1)
+        assert net.due("a", 1) == blocks

@@ -1,0 +1,64 @@
+"""Chain-selection tie-breaking rules (axioms A0 / A0′)."""
+
+from repro.protocol.block import Block, BlockTree
+from repro.protocol.tiebreak import (
+    adversarial_order_rule,
+    consistent_hash_rule,
+    select_chain,
+)
+
+
+def forked_tree() -> tuple[BlockTree, str, str]:
+    tree = BlockTree()
+    a = Block(1, tree.genesis_hash, "a")
+    b = Block(2, tree.genesis_hash, "b")
+    tree.add_block(a)
+    tree.add_block(b)
+    return tree, a.block_hash, b.block_hash
+
+
+class TestAdversarialOrderRule:
+    def test_prefers_earlier_arrival(self):
+        tree, a, b = forked_tree()
+        assert adversarial_order_rule(tree, [a, b], {a: 1, b: 2}) == a
+        assert adversarial_order_rule(tree, [a, b], {a: 2, b: 1}) == b
+
+    def test_unknown_arrival_ranks_last(self):
+        tree, a, b = forked_tree()
+        assert adversarial_order_rule(tree, [a, b], {b: 5}) == b
+
+    def test_deterministic_fallback_on_equal_ranks(self):
+        tree, a, b = forked_tree()
+        first = adversarial_order_rule(tree, [a, b], {a: 1, b: 1})
+        second = adversarial_order_rule(tree, [b, a], {a: 1, b: 1})
+        assert first == second
+
+
+class TestConsistentHashRule:
+    def test_ignores_arrival_order(self):
+        tree, a, b = forked_tree()
+        assert consistent_hash_rule(tree, [a, b], {a: 9, b: 1}) == min(a, b)
+
+    def test_same_choice_for_all_observers(self):
+        tree, a, b = forked_tree()
+        choices = {
+            consistent_hash_rule(tree, tips, ranks)
+            for tips in ([a, b], [b, a])
+            for ranks in ({a: 1, b: 2}, {a: 2, b: 1})
+        }
+        assert len(choices) == 1
+
+
+class TestSelectChain:
+    def test_no_tie_short_circuits(self):
+        tree = BlockTree()
+        a = Block(1, tree.genesis_hash, "a")
+        tree.add_block(a)
+        b = Block(2, a.block_hash, "b")
+        tree.add_block(b)
+        assert select_chain(tree, consistent_hash_rule, {}) == b.block_hash
+
+    def test_tie_uses_rule(self):
+        tree, a, b = forked_tree()
+        chosen = select_chain(tree, adversarial_order_rule, {a: 2, b: 1})
+        assert chosen == b

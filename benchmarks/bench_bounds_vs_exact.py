@@ -10,17 +10,17 @@ Shape assertions: bound ≥ exact ≈ MC everywhere; both decay
 exponentially; the bound's decay rate tracks min(ε³, ε²p_h).
 """
 
-import math
-import random
+
 
 import pytest
 
+from bench_config import SEEDS, TRIALS
 from repro.analysis.bounds import (
     theorem1_asymptotic_rate,
     theorem1_settlement_bound,
 )
 from repro.analysis.exact import compute_settlement_probabilities
-from repro.analysis.montecarlo import estimate_settlement_violation
+from repro.engine import ExperimentRunner, Scenario
 from repro.core.distributions import bernoulli_condition
 
 SWEEP_DEPTHS = [20, 40, 80, 160]
@@ -55,11 +55,19 @@ def test_bound_dominates_exact_across_sweep(benchmark, epsilon, p_unique):
 def test_monte_carlo_sits_on_exact(benchmark):
     epsilon, p_unique, depth = 0.35, 0.3, 30
     probabilities = bernoulli_condition(epsilon, p_unique)
-    rng = random.Random(99)
+    runner = ExperimentRunner(
+        Scenario(
+            name="bounds-vs-exact",
+            probabilities=probabilities,
+            depth=depth,
+            description="MC cross-check of the Section 6.6 DP",
+        )
+    )
+    trials = TRIALS["bounds_vs_exact_mc"]
 
     estimate = benchmark.pedantic(
-        estimate_settlement_violation,
-        args=(probabilities, depth, 3000, rng),
+        runner.run,
+        args=(trials, SEEDS["bounds_vs_exact_mc"]),
         rounds=1,
         iterations=1,
     )
@@ -68,6 +76,7 @@ def test_monte_carlo_sits_on_exact(benchmark):
     assert estimate.within(exact, sigmas=4)
     benchmark.extra_info["exact"] = f"{exact:.4f}"
     benchmark.extra_info["monte_carlo"] = f"{estimate.value:.4f}"
+    benchmark.extra_info["trials"] = trials
 
 
 def test_rate_shape_min_of_two_regimes(benchmark):

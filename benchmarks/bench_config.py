@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Every bench takes its RNG seeds and trial counts from here instead of
+hard-coded literals, so one edit re-scales or re-seeds the whole suite
+(and `run_all.py --quick` can shrink it uniformly via the TRIALS
+dictionary).  Seeds are arbitrary but fixed: the suite is deterministic
+run-to-run.
+"""
+
+#: Per-experiment seeds (one namespace per bench file).
+SEEDS = {
+    "bounds_vs_exact_mc": 99,
+    "cp_measured_rate": 77,
+    "cp_bivalent_windows": 31,
+    "delta_sweep_rate": 12345,  # per-Δ offset added by the bench
+    "fig4_throughput": 1000,  # per-length offset added by the bench
+    "fig4_canonicality": 7,
+    "protocol_attack": "bench-attack",  # protocol sims take string seeds
+    "tiebreak_ablation": "ablation",
+    "engine_scalar_vs_batched": 2020,
+}
+
+#: Per-experiment trial counts.
+TRIALS = {
+    "bounds_vs_exact_mc": 20000,
+    "cp_measured_rate": 600,
+    "cp_bivalent_windows": 300,
+    "delta_sweep_rate": 250,
+    "protocol_attack": 15,
+    "tiebreak_ablation": 3,
+    # The engine perf baseline (the run_all.py acceptance point):
+    "engine_trials": 10000,
+    "engine_depth": 200,
+}

@@ -10,6 +10,7 @@ import random
 
 import pytest
 
+from bench_config import SEEDS, TRIALS
 from repro.analysis.bounds import (
     theorem8_cp_bound,
     theorem8_cp_bound_consistent,
@@ -22,11 +23,11 @@ def test_cp_bound_vs_measured_rate(benchmark):
     epsilon, p_unique = 0.5, 0.5
     probabilities = bernoulli_condition(epsilon, p_unique)
     total_length, depth = 150, 30
-    rng = random.Random(77)
+    rng = random.Random(SEEDS["cp_measured_rate"])
 
     rate = benchmark.pedantic(
         estimate_cp_violation_rate,
-        args=(probabilities, total_length, depth, 600, rng),
+        args=(probabilities, total_length, depth, TRIALS["cp_measured_rate"], rng),
         rounds=1,
         iterations=1,
     )
@@ -55,13 +56,13 @@ def test_cp_bound_scales_linearly_in_length(benchmark):
 def test_consistent_windows_on_bivalent_strings(benchmark):
     """With p_h = 0 only the A0′ notion certifies CP windows at all."""
     probabilities = bivalent_condition(0.4)
-    rng = random.Random(31)
+    rng = random.Random(SEEDS["cp_bivalent_windows"])
 
     def measure():
         from repro.core.distributions import sample_characteristic_string
 
         plain_hits = consistent_hits = 0
-        trials = 300
+        trials = TRIALS["cp_bivalent_windows"]
         for _ in range(trials):
             word = sample_characteristic_string(probabilities, 120, rng)
             if not uvp_free_windows(word, 25, consistent=False):

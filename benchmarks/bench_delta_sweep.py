@@ -8,16 +8,13 @@ rate; the (1 + Δ)·ε/(1 − ε) additive penalty is visible as a roughly
 geometric bound inflation per unit of Δ.
 """
 
-import random
-
 import pytest
 
+from bench_config import SEEDS, TRIALS
 from repro.core.distributions import semi_synchronous_condition
 from repro.delta.reduction import reduced_epsilon
-from repro.delta.settlement import (
-    estimate_violation_rate,
-    theorem7_error_bound,
-)
+from repro.delta.settlement import theorem7_error_bound
+from repro.engine import ExperimentRunner, get_scenario
 
 ACTIVITY = 0.05
 P_ADVERSARIAL = 0.005
@@ -48,18 +45,22 @@ def test_delta_sweep_bounds(benchmark):
 
 @pytest.mark.parametrize("delta", [0, 4])
 def test_bound_dominates_measured_rate(benchmark, delta):
-    probabilities = semi_synchronous_condition(0.08, 0.004, 0.06)
-    slot, depth = 50, 80
-    rng = random.Random(12345 + delta)
+    # The registered Theorem 7 workload, re-parameterised per Δ; the
+    # estimator is the batched (k, Δ)-settlement criterion on reduced
+    # strings (exactly repro.delta.settlement.is_k_delta_settled).
+    scenario = get_scenario("delta-synchronous", delta=delta)
+    probabilities = scenario.probabilities
+    runner = ExperimentRunner(scenario)
+    trials = TRIALS["delta_sweep_rate"]
 
-    rate = benchmark.pedantic(
-        estimate_violation_rate,
-        args=(probabilities, slot, depth, delta, 250, 250, rng),
+    estimate = benchmark.pedantic(
+        runner.run,
+        args=(trials, SEEDS["delta_sweep_rate"] + delta),
         rounds=1,
         iterations=1,
     )
 
-    bound = theorem7_error_bound(probabilities, depth, delta)
-    assert bound >= rate - 0.05
-    benchmark.extra_info["measured_rate"] = f"{rate:.4f}"
+    bound = theorem7_error_bound(probabilities, scenario.depth, delta)
+    assert bound >= estimate.value - 0.05
+    benchmark.extra_info["measured_rate"] = f"{estimate.value:.4f}"
     benchmark.extra_info["bound"] = f"{bound:.4f}"

@@ -9,6 +9,7 @@ import random
 
 import pytest
 
+from bench_config import SEEDS
 from repro.core.adversary_star import build_canonical_fork
 from repro.core.distributions import (
     bernoulli_condition,
@@ -20,7 +21,7 @@ from repro.core.reach import max_reach, rho
 
 @pytest.mark.parametrize("length", [50, 150, 400])
 def test_adversary_star_throughput(benchmark, length):
-    rng = random.Random(1000 + length)
+    rng = random.Random(SEEDS["fig4_throughput"] + length)
     probabilities = bernoulli_condition(0.2, 0.3)
     word = sample_characteristic_string(probabilities, length, rng)
 
@@ -37,7 +38,7 @@ def test_adversary_star_throughput(benchmark, length):
 
 def test_adversary_star_attacks_all_slots(benchmark):
     """A single canonical fork witnesses every slot's settlement status."""
-    rng = random.Random(7)
+    rng = random.Random(SEEDS["fig4_canonicality"])
     probabilities = bernoulli_condition(0.1, 0.2)
     word = sample_characteristic_string(probabilities, 120, rng)
 

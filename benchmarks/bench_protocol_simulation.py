@@ -9,6 +9,7 @@ exceed the optimum.  Also benchmarks raw simulator throughput.
 
 import pytest
 
+from bench_config import SEEDS, TRIALS
 from repro.analysis.exact import settlement_violation_probability
 from repro.core.distributions import SlotProbabilities
 from repro.protocol.adversary import NullAdversary, PrivateChainAdversary
@@ -51,7 +52,7 @@ def test_private_chain_attack_below_optimum(benchmark):
 
     def campaign():
         wins = 0
-        trials = 15
+        trials = TRIALS["protocol_attack"]
         for seed in range(trials):
             simulation = Simulation(
                 stakes,
@@ -60,7 +61,7 @@ def test_private_chain_attack_below_optimum(benchmark):
                 adversary=PrivateChainAdversary(
                     target_slot=target, hold=depth, patience=60
                 ),
-                randomness=f"bench-attack-{seed}",
+                randomness=f"{SEEDS['protocol_attack']}-{seed}",
             )
             result = simulation.run()
             if result.settlement_violation(target, depth):

@@ -12,6 +12,7 @@ Two layers of evidence:
 
 import pytest
 
+from bench_config import SEEDS, TRIALS
 from repro.analysis.bounds import (
     theorem1_settlement_bound,
     theorem2_settlement_bound,
@@ -53,13 +54,13 @@ def test_split_attack_under_rule(benchmark, rule_name):
     def run_attack():
         total_reorg = 0
         violations = 0
-        for seed in range(3):
+        for seed in range(TRIALS["tiebreak_ablation"]):
             kwargs = dict(
                 stakes=stakes,
                 activity=0.8,  # dense slots: many concurrent honest leaders
                 total_slots=70,
                 adversary=SplitAdversary(),
-                randomness=f"ablation-{seed}",
+                randomness=f"{SEEDS['tiebreak_ablation']}-{seed}",
             )
             if rule_name == "consistent":
                 kwargs["tie_break"] = consistent_hash_rule

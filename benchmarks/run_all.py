@@ -1,0 +1,189 @@
+"""Run the benchmark suite and record the engine performance baseline.
+
+Two jobs:
+
+1. measure scalar-vs-batched throughput of the Monte-Carlo estimators
+   (the batched-engine acceptance point: >= 10x on
+   estimate_settlement_violation at depth 200, 10k trials) and write the
+   record to BENCH_engine.json at the repo root;
+2. optionally execute the pytest benchmark suite (skipped with
+   --perf-only; shrunk with --quick for CI).
+
+Usage:
+    python benchmarks/run_all.py             # full: perf record + suite
+    python benchmarks/run_all.py --quick     # CI-sized subset
+    python benchmarks/run_all.py --perf-only # just the perf record
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_config import SEEDS, TRIALS  # noqa: E402
+
+from repro.analysis.montecarlo import (  # noqa: E402
+    estimate_no_unique_catalan_in_window,
+    estimate_no_unique_catalan_in_window_scalar,
+    estimate_settlement_violation,
+    estimate_settlement_violation_scalar,
+)
+from repro.core.distributions import bernoulli_condition  # noqa: E402
+
+
+def _time(callable_, *args, **kwargs):
+    start = time.perf_counter()
+    result = callable_(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def perf_record(quick: bool) -> dict:
+    """Scalar-vs-batched throughput of the Monte-Carlo estimators."""
+    seed = SEEDS["engine_scalar_vs_batched"]
+    depth = TRIALS["engine_depth"]
+    trials = TRIALS["engine_trials"] // (10 if quick else 1)
+    # Small honest-majority margin: the violation probability at depth 200
+    # is still visible, so the recorded value doubles as a sanity check.
+    probabilities = bernoulli_condition(0.1, 0.3)
+
+    results = []
+
+    # Warm up allocator / ufunc dispatch so the timed region measures the
+    # steady-state throughput the suite actually cares about.
+    estimate_settlement_violation(probabilities, depth, 256, seed)
+    estimate_no_unique_catalan_in_window(probabilities, 20, 40, 120, 256, seed)
+
+    batched_s, batched = _time(
+        estimate_settlement_violation, probabilities, depth, trials, seed
+    )
+    scalar_s, scalar = _time(
+        estimate_settlement_violation_scalar,
+        probabilities,
+        depth,
+        trials,
+        seed,
+    )
+    assert batched == scalar, "batched/scalar estimator pair diverged"
+    results.append(
+        {
+            "estimator": "estimate_settlement_violation",
+            "depth": depth,
+            "trials": trials,
+            "scalar_seconds": round(scalar_s, 4),
+            "batched_seconds": round(batched_s, 4),
+            "speedup": round(scalar_s / batched_s, 1),
+            "value": batched.value,
+        }
+    )
+
+    window_args = (probabilities, 20, 40, 120, trials, seed)
+    batched_s, batched = _time(
+        estimate_no_unique_catalan_in_window, *window_args
+    )
+    scalar_s, scalar = _time(
+        estimate_no_unique_catalan_in_window_scalar, *window_args
+    )
+    assert batched == scalar, "batched/scalar estimator pair diverged"
+    results.append(
+        {
+            "estimator": "estimate_no_unique_catalan_in_window",
+            "total_length": 120,
+            "trials": trials,
+            "scalar_seconds": round(scalar_s, 4),
+            "batched_seconds": round(batched_s, 4),
+            "speedup": round(scalar_s / batched_s, 1),
+            "value": batched.value,
+        }
+    )
+    return {
+        "suite": "engine-scalar-vs-batched",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+
+
+def run_bench_suite(quick: bool) -> int:
+    """Execute the pytest benchmark files (assertion mode, timings off)."""
+    # bench_*.py does not match pytest's default python_files pattern, so
+    # the files must be selected explicitly.
+    selection = (
+        ["bench_table1_settlement.py::test_table1_block_sweep",
+         "bench_fig1_example_fork.py",
+         "bench_fig2_fig3_balanced.py"]
+        if quick
+        else sorted(
+            p.name
+            for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+            if p.name != "bench_config.py"
+        )
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "--benchmark-disable",
+        "-p",
+        "no:cacheprovider",
+        *selection,
+    ]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    return subprocess.call(command, cwd=REPO_ROOT / "benchmarks", env=env)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--perf-only",
+        action="store_true",
+        help="skip the pytest suite, only write the perf record",
+    )
+    args = parser.parse_args()
+
+    record = perf_record(args.quick)
+    out = REPO_ROOT / "BENCH_engine.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    for entry in record["results"]:
+        print(
+            f"{entry['estimator']}: scalar {entry['scalar_seconds']}s, "
+            f"batched {entry['batched_seconds']}s -> "
+            f"{entry['speedup']}x (identical estimates)"
+        )
+    print(f"perf record written to {out}")
+
+    # Quick mode times 10x fewer trials, so its measurements are noisier;
+    # enforce a looser floor there rather than none at all.
+    floor = 5 if args.quick else 10
+    settlement = record["results"][0]
+    if settlement["speedup"] < floor:
+        print(
+            f"FAIL: batched settlement estimator below the {floor}x floor "
+            f"({settlement['speedup']}x)",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.perf_only:
+        return 0
+    return run_bench_suite(args.quick)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,14 +14,10 @@ reduction map ρ_Δ.  This example shows the whole pipeline:
 Run:  python examples/delta_synchronous_analysis.py
 """
 
-import random
-
 from repro.core.distributions import semi_synchronous_condition
 from repro.delta.reduction import reduced_probabilities
-from repro.delta.settlement import (
-    estimate_violation_rate,
-    theorem7_error_bound,
-)
+from repro.delta.settlement import theorem7_error_bound
+from repro.engine import ExperimentRunner, get_scenario
 
 
 def parameter_degradation() -> None:
@@ -58,17 +54,19 @@ def activity_tradeoff() -> None:
 
 def empirical_check() -> None:
     print("=== Monte-Carlo check of the Theorem 7 bound ===")
-    probs = semi_synchronous_condition(0.08, 0.004, 0.06)
-    slot, depth = 50, 80
-    rng = random.Random(2026)
+    # The registered Δ-synchronous workload: sample semi-synchronous
+    # strings, push them through ρ_Δ, test (k, Δ)-settlement — all on the
+    # batched engine, one registry lookup per Δ.
+    base = get_scenario("delta-synchronous")
+    probs = base.probabilities
     for delta in (0, 2, 4):
-        rate = estimate_violation_rate(
-            probs, slot, depth, delta, 250, 400, rng
-        )
-        bound = theorem7_error_bound(probs, depth, delta)
+        estimate = ExperimentRunner(
+            get_scenario("delta-synchronous", delta=delta)
+        ).run(trials=4000, seed=2026 + delta)
+        bound = theorem7_error_bound(probs, base.depth, delta)
         print(
-            f"  Δ = {delta}:  measured rate {rate:.4f}   bound {bound:.4f}"
-            f"   dominated: {bound >= rate}"
+            f"  Δ = {delta}:  measured rate {estimate.value:.4f}"
+            f"   bound {bound:.4f}   dominated: {bound >= estimate.value}"
         )
     print()
 

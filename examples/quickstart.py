@@ -5,12 +5,11 @@ Walks through the library's main entry points:
 1. exact settlement-violation probabilities (the paper's Table 1 engine);
 2. the combinatorial layer — characteristic strings, Catalan slots, UVP;
 3. the optimal online adversary ``A*`` building a canonical fork;
-4. a tiny end-to-end protocol simulation.
+4. a tiny end-to-end protocol simulation;
+5. batched Monte Carlo through the scenario registry.
 
 Run:  python examples/quickstart.py
 """
-
-import random
 
 from repro import (
     Simulation,
@@ -18,6 +17,8 @@ from repro import (
     build_canonical_fork,
     catalan_slots,
     from_adversarial_stake,
+    run_scenario,
+    scenario_names,
     settlement_violation_probability,
     theorem1_settlement_bound,
     uvp_slots,
@@ -76,6 +77,21 @@ def protocol_simulation() -> None:
     fork = result.execution_fork()
     fork.validate()
     print(f"  extracted fork valid: True ({len(fork.vertices())} blocks)")
+    print()
+
+
+def batched_monte_carlo() -> None:
+    print("=== 5. Batched Monte Carlo via the scenario registry ===")
+    print(f"  registered workloads: {', '.join(scenario_names())}")
+    # The registered Table 1 workload, re-parameterised to a depth where
+    # 200k trials resolve the probability; one call runs the whole
+    # sample-and-evaluate pipeline on (trials, T) arrays.
+    depth = 30
+    estimate = run_scenario("iid-settlement", 200_000, seed=7, depth=depth)
+    params = from_adversarial_stake(alpha=0.20, unique_fraction=0.8)
+    exact = settlement_violation_probability(params, depth)
+    print(f"  k = {depth}: MC {estimate.value:.5f} ± {estimate.standard_error:.5f}"
+          f"   exact {exact:.5f}   agrees: {estimate.within(exact)}")
 
 
 if __name__ == "__main__":
@@ -83,3 +99,4 @@ if __name__ == "__main__":
     combinatorial_layer()
     optimal_adversary()
     protocol_simulation()
+    batched_monte_carlo()

@@ -47,6 +47,8 @@ from repro.analysis.bounds import (
     theorem8_cp_bound,
 )
 from repro.delta.reduction import reduce_string
+from repro.engine.runner import Estimate, ExperimentRunner, run_scenario
+from repro.engine.scenarios import Scenario, get_scenario, scenario_names
 from repro.protocol.leader import StakeDistribution
 from repro.protocol.simulation import Simulation
 
@@ -55,7 +57,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AdversaryStar",
     "CharacteristicString",
+    "Estimate",
+    "ExperimentRunner",
     "Fork",
+    "Scenario",
     "Simulation",
     "SlotProbabilities",
     "StakeDistribution",
@@ -66,6 +71,7 @@ __all__ = [
     "build_canonical_fork",
     "catalan_slots",
     "from_adversarial_stake",
+    "get_scenario",
     "has_uvp",
     "is_catalan",
     "is_k_settled",
@@ -73,6 +79,8 @@ __all__ = [
     "reduce_string",
     "relative_margin",
     "rho",
+    "run_scenario",
+    "scenario_names",
     "semi_synchronous_condition",
     "settlement_table",
     "settlement_time",

@@ -36,16 +36,24 @@ Everything else is plain float64 convolution; the subtractive boundary
 corrections cancel exactly in floating point (a value is subtracted from
 itself), so no catastrophic cancellation occurs even for probabilities
 near 1e-300.
+
+The per-symbol transition steps of the DP are shared with the batched
+Monte-Carlo engine and live in :mod:`repro.engine.kernels`
+(``settlement_*_step``); this module owns only the sweep orchestration
+and the Table 1 presentation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.distributions import SlotProbabilities, from_adversarial_stake
-from repro.core.walks import stationary_reach_ratio
+from repro.engine.kernels import (
+    settlement_adversarial_step,
+    settlement_honest_step,
+    settlement_initial_grid,
+    settlement_violation_mass,
+)
 
 
 @dataclass(frozen=True)
@@ -104,7 +112,7 @@ def compute_settlement_probabilities(
     k_max = max(checkpoints)
     wanted = set(checkpoints)
 
-    grid = _initial_grid(probabilities, k_max, prefix_length)
+    grid = settlement_initial_grid(probabilities, k_max, prefix_length)
     p_h = probabilities.p_unique
     p_bigh = probabilities.p_multi
     p_adv = probabilities.p_adversarial
@@ -112,108 +120,15 @@ def compute_settlement_probabilities(
     results: dict[int, float] = {}
     for t in range(1, k_max + 1):
         grid = (
-            p_adv * _adversarial_step(grid)
-            + p_h * _honest_step(grid, k_max, unique=True)
-            + p_bigh * _honest_step(grid, k_max, unique=False)
+            p_adv * settlement_adversarial_step(grid)
+            + p_h * settlement_honest_step(grid, k_max, unique=True)
+            + p_bigh * settlement_honest_step(grid, k_max, unique=False)
         )
         if t in wanted:
-            results[t] = _violation_mass(grid, k_max)
+            results[t] = settlement_violation_mass(grid, k_max)
 
     model = "x->infinity" if prefix_length is None else f"|x|={prefix_length}"
     return SettlementComputation(probabilities, model, results)
-
-
-def _grid_shape(k_max: int) -> tuple[int, int]:
-    """Rows index reach ``r ∈ [0, R]``; columns index ``m ∈ [−k_max, R]``."""
-    cap = k_max + 2
-    return cap + 1, k_max + cap + 1
-
-
-def _initial_grid(
-    probabilities: SlotProbabilities,
-    k_max: int,
-    prefix_length: int | None,
-) -> np.ndarray:
-    rows, cols = _grid_shape(k_max)
-    cap = rows - 1
-    offset = k_max  # column index of m == 0
-    grid = np.zeros((rows, cols))
-
-    if prefix_length is None:
-        beta = stationary_reach_ratio(probabilities.epsilon)
-        for r in range(cap):
-            grid[r, offset + r] = (1.0 - beta) * beta**r
-        grid[cap, offset + cap] = beta**cap  # absorbed tail: certain violation
-    else:
-        reach_pmf = _prefix_reach_pmf(probabilities, prefix_length, cap)
-        for r in range(cap):
-            grid[r, offset + r] = reach_pmf[r]
-        grid[cap, offset + cap] = max(1.0 - reach_pmf[:cap].sum(), 0.0)
-    return grid
-
-
-def _prefix_reach_pmf(
-    probabilities: SlotProbabilities, length: int, cap: int
-) -> np.ndarray:
-    """Distribution of ρ(x) for an i.i.d. prefix of given length.
-
-    The reach recurrence is a reflected walk: +1 on ``A`` (probability
-    p_A), max(·−1, 0) on honest symbols.  Mass at or above ``cap`` is
-    accumulated in the top cell (same saturation argument as the joint
-    grid).
-    """
-    p_adv = probabilities.p_adversarial
-    p_honest = probabilities.p_honest
-    pmf = np.zeros(cap + 1)
-    pmf[0] = 1.0
-    for _ in range(length):
-        nxt = np.zeros_like(pmf)
-        nxt[1:] += p_adv * pmf[:-1]
-        nxt[-1] += p_adv * pmf[-1]
-        nxt[:-1] += p_honest * pmf[1:]
-        nxt[0] += p_honest * pmf[0]
-        pmf = nxt
-    return pmf
-
-
-def _adversarial_step(grid: np.ndarray) -> np.ndarray:
-    """Transition on ``A``: (r, m) → (r + 1, m + 1), saturating at the cap."""
-    out = np.zeros_like(grid)
-    out[1:, 1:] = grid[:-1, :-1]
-    out[-1, 1:] += grid[-1, :-1]
-    out[1:, -1] += grid[:-1, -1]
-    out[-1, -1] += grid[-1, -1]
-    return out
-
-
-def _honest_step(grid: np.ndarray, k_max: int, unique: bool) -> np.ndarray:
-    """Transition on ``h`` (unique) or ``H`` (multi); Theorem 5, Eq. (14).
-
-    Generic motion is (r, m) → (max(r − 1, 0), m − 1); the m = 0 column is
-    then corrected: with r > 0 the margin stays at 0 for both symbols,
-    with r = 0 it stays at 0 only for ``H``.
-    """
-    offset = k_max  # column of m == 0
-    colshift = np.zeros_like(grid)
-    colshift[:, :-1] = grid[:, 1:]
-
-    out = np.zeros_like(grid)
-    out[:-1, :] += colshift[1:, :]
-    out[0, :] += colshift[0, :]
-
-    # m == 0, r > 0: margin stays 0 (was shifted to m = −1 above).
-    out[:-1, offset - 1] -= grid[1:, offset]
-    out[:-1, offset] += grid[1:, offset]
-    if not unique:
-        # m == 0, r == 0, symbol H: margin stays 0 as well.
-        out[0, offset - 1] -= grid[0, offset]
-        out[0, offset] += grid[0, offset]
-    return out
-
-
-def _violation_mass(grid: np.ndarray, k_max: int) -> float:
-    """``Pr[m ≥ 0]`` — total mass in the non-negative margin columns."""
-    return float(grid[:, k_max:].sum())
 
 
 # ----------------------------------------------------------------------

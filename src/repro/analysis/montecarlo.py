@@ -1,53 +1,78 @@
 """Monte-Carlo estimators cross-validating the exact and asymptotic results.
 
 Sampling characteristic strings and evaluating the Theorem 5 recurrence
-is cheap (O(T) per sample), which makes Monte Carlo a practical oracle
-for every probability in the paper: settlement violations (against the
-exact DP), Catalan-slot rarity (against Bounds 1 and 2), and consistency
-under non-i.i.d. (martingale) leader sequences (against the dominance
-claim of Theorem 1).
+makes Monte Carlo a practical oracle for every probability in the paper:
+settlement violations (against the exact DP), Catalan-slot rarity
+(against Bounds 1 and 2), and consistency under non-i.i.d. (martingale)
+leader sequences (against the dominance claim of Theorem 1).
+
+The estimators here are *batched*: they draw ``(trials, T)`` uniform
+blocks from a seeded ``numpy.random.Generator`` and run the vectorized
+recurrences of :mod:`repro.engine.kernels`, so throughput scales with
+array width instead of the Python interpreter.  Every batched estimator
+has a ``*_scalar`` twin that consumes the **same uniform blocks in the
+same order** (the documented seed discipline) but evaluates the scalar
+recurrences of :mod:`repro.core` symbol by symbol — the pairs agree
+bit-for-bit on equal seeds, which is what ``tests/engine`` asserts.
+
+For backwards compatibility every estimator also accepts a
+``random.Random``: its ``getrandbits(64)`` seeds the NumPy generator, so
+legacy call sites stay deterministic (though on a different stream than
+before the batching refactor).
 """
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.catalan import (
     catalan_slots,
     uniquely_honest_catalan_slots,
 )
-from repro.core.distributions import (
-    SlotProbabilities,
-    sample_characteristic_string,
-)
+from repro.core.distributions import SlotProbabilities
 from repro.core.margin import margin_step
 from repro.core.walks import stationary_reach_ratio
+from repro.engine import kernels
+from repro.engine.runner import Estimate, estimate_from_hits
+
+__all__ = [
+    "Estimate",
+    "coerce_generator",
+    "estimate_no_consecutive_catalan_in_window",
+    "estimate_no_consecutive_catalan_in_window_scalar",
+    "estimate_no_unique_catalan_in_window",
+    "estimate_no_unique_catalan_in_window_scalar",
+    "estimate_settlement_violation",
+    "estimate_settlement_violation_scalar",
+    "estimate_violation_from_sampler",
+    "sample_initial_reach",
+]
 
 
-@dataclass(frozen=True)
-class Estimate:
-    """A Monte-Carlo estimate with its standard error."""
+def coerce_generator(
+    rng: random.Random | np.random.Generator | int,
+) -> np.random.Generator:
+    """Turn any supported randomness source into a ``numpy`` Generator.
 
-    value: float
-    standard_error: float
-    trials: int
-
-    def within(self, target: float, sigmas: float = 4.0) -> bool:
-        """Is ``target`` within ``sigmas`` standard errors of the estimate?"""
-        slack = sigmas * self.standard_error + 1e-12
-        return abs(self.value - target) <= slack
-
-
-def _estimate(hits: int, trials: int) -> Estimate:
-    rate = hits / trials
-    se = math.sqrt(max(rate * (1.0 - rate), 1e-12) / trials)
-    return Estimate(rate, se, trials)
+    Integers seed a fresh generator; a ``random.Random`` contributes 64
+    bits of its stream as the seed (deterministic given its state);
+    generators pass through untouched.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, random.Random):
+        return np.random.default_rng(rng.getrandbits(64))
+    return np.random.default_rng(rng)
 
 
 def sample_initial_reach(epsilon: float, rng: random.Random) -> int:
-    """Draw from the X_∞ law of Eq. (9) (geometric with ratio β)."""
+    """Draw from the X_∞ law of Eq. (9) (geometric with ratio β).
+
+    Scalar rejection-loop sampler, kept as the distributional oracle for
+    :func:`repro.engine.kernels.sample_initial_reaches`.
+    """
     beta = stationary_reach_ratio(epsilon)
     reach = 0
     while rng.random() < beta:
@@ -55,42 +80,132 @@ def sample_initial_reach(epsilon: float, rng: random.Random) -> int:
     return reach
 
 
+# ----------------------------------------------------------------------
+# Settlement violations (the Table 1 probability)
+# ----------------------------------------------------------------------
+
+
+def _settlement_uniform_phases(
+    depth: int,
+    trials: int,
+    generator: np.random.Generator,
+    prefix_length: int | None,
+) -> tuple[np.ndarray | None, np.ndarray]:
+    """The shared randomness discipline of the settlement estimators.
+
+    Phase 1 (stationary model only): one ``(trials,)`` block for the
+    initial reaches.  Phase 2: one ``(trials, |x| + depth)`` block,
+    row-major, for the symbols.  Batched and scalar paths both call this,
+    which is what makes them bit-identical on equal seeds.
+    """
+    reach_uniforms = None
+    length = depth
+    if prefix_length is None:
+        reach_uniforms = generator.random(trials)
+    else:
+        length = prefix_length + depth
+    symbol_uniforms = generator.random((trials, length))
+    return reach_uniforms, symbol_uniforms
+
+
 def estimate_settlement_violation(
     probabilities: SlotProbabilities,
     depth: int,
     trials: int,
-    rng: random.Random,
+    rng: random.Random | np.random.Generator | int,
     prefix_length: int | None = None,
 ) -> Estimate:
-    """Monte-Carlo ``Pr[μ_x(y) ≥ 0]`` at ``|y| = depth``.
+    """Monte-Carlo ``Pr[μ_x(y) ≥ 0]`` at ``|y| = depth``, batched.
 
     Samples the initial reach (X_∞ for ``prefix_length=None``, otherwise
     by running the reach recurrence over a sampled prefix), then runs the
-    joint Theorem 5 recurrence over a sampled suffix.  This is the same
-    quantity the exact DP computes, by an entirely independent route —
-    the test-suite requires agreement within sampling error.
+    joint Theorem 5 recurrence over a sampled suffix — all on
+    ``(trials, T)`` arrays.  This is the same quantity the exact DP
+    computes, by an entirely independent route — the test-suite requires
+    agreement within sampling error.
     """
-    p_h, p_bigh, p_adv, p_empty = probabilities.as_tuple()
-    if p_empty:
+    if probabilities.p_empty:
         raise ValueError("synchronous probabilities required")
+    generator = coerce_generator(rng)
+    reach_uniforms, symbol_uniforms = _settlement_uniform_phases(
+        depth, trials, generator, prefix_length
+    )
+    symbols = kernels.symbols_from_uniforms(probabilities, symbol_uniforms)
+    initial = (
+        kernels.initial_reaches_from_uniforms(
+            probabilities.epsilon, reach_uniforms
+        )
+        if reach_uniforms is not None
+        else None
+    )
+    starts = 0 if prefix_length is None else prefix_length
+    _rho, mu = kernels.joint_final_states(symbols, starts, initial)
+    return estimate_from_hits(int((mu >= 0).sum()), trials)
+
+
+def estimate_settlement_violation_scalar(
+    probabilities: SlotProbabilities,
+    depth: int,
+    trials: int,
+    rng: random.Random | np.random.Generator | int,
+    prefix_length: int | None = None,
+) -> Estimate:
+    """Scalar oracle for :func:`estimate_settlement_violation`.
+
+    Consumes the identical uniform blocks but evaluates the recurrences
+    one symbol at a time via :func:`repro.core.margin.margin_step` —
+    bit-identical to the batched path on equal seeds, interpreter-bound
+    on purpose.
+    """
+    if probabilities.p_empty:
+        raise ValueError("synchronous probabilities required")
+    generator = coerce_generator(rng)
+    reach_uniforms, symbol_uniforms = _settlement_uniform_phases(
+        depth, trials, generator, prefix_length
+    )
+    start = 0 if prefix_length is None else prefix_length
     hits = 0
-    for _ in range(trials):
-        if prefix_length is None:
-            reach = sample_initial_reach(probabilities.epsilon, rng)
-        else:
-            prefix = sample_characteristic_string(
-                probabilities, prefix_length, rng
+    for i in range(trials):
+        word = _word_from_uniforms(probabilities, symbol_uniforms[i])
+        if reach_uniforms is not None:
+            reach = int(
+                kernels.initial_reaches_from_uniforms(
+                    probabilities.epsilon, reach_uniforms[i : i + 1]
+                )[0]
             )
+        else:
             from repro.core.reach import rho
 
-            reach = rho(prefix)
+            reach = rho(word[:start])
         margin = reach
-        suffix = sample_characteristic_string(probabilities, depth, rng)
-        for symbol in suffix:
+        for symbol in word[start:]:
             reach, margin = margin_step(reach, margin, symbol)
         if margin >= 0:
             hits += 1
-    return _estimate(hits, trials)
+    return estimate_from_hits(hits, trials)
+
+
+def _word_from_uniforms(
+    probabilities: SlotProbabilities, uniforms: np.ndarray
+) -> str:
+    """Scalar uniform→symbol mapping (the kernels' threshold discipline)."""
+    t_h, t_bigh, t_adv = kernels.symbol_thresholds(probabilities)
+    symbols = []
+    for u in uniforms:
+        if u < t_h:
+            symbols.append("h")
+        elif u < t_bigh:
+            symbols.append("H")
+        elif u < t_adv:
+            symbols.append("A")
+        else:
+            symbols.append(".")
+    return "".join(symbols)
+
+
+# ----------------------------------------------------------------------
+# Catalan-slot rarity (Bounds 1 and 2)
+# ----------------------------------------------------------------------
 
 
 def estimate_no_unique_catalan_in_window(
@@ -99,22 +214,43 @@ def estimate_no_unique_catalan_in_window(
     window_length: int,
     total_length: int,
     trials: int,
-    rng: random.Random,
+    rng: random.Random | np.random.Generator | int,
 ) -> Estimate:
     """Monte-Carlo probability that a window has no uniquely honest Catalan slot.
 
     The event of Bound 1; Catalan-ness is evaluated in the whole sampled
-    string, so the estimate includes the boundary effects the bound's
-    prefix correction accounts for.
+    string (one ``(trials, total_length)`` block), so the estimate
+    includes the boundary effects the bound's prefix correction accounts
+    for.
     """
+    generator = coerce_generator(rng)
+    symbols = kernels.sample_characteristic_matrix(
+        probabilities, trials, total_length, generator
+    )
+    mask = kernels.uniquely_honest_catalan_mask(symbols)
+    window = mask[:, window_start - 1 : window_start - 1 + window_length]
+    return estimate_from_hits(int((~window.any(axis=1)).sum()), trials)
+
+
+def estimate_no_unique_catalan_in_window_scalar(
+    probabilities: SlotProbabilities,
+    window_start: int,
+    window_length: int,
+    total_length: int,
+    trials: int,
+    rng: random.Random | np.random.Generator | int,
+) -> Estimate:
+    """Scalar oracle for :func:`estimate_no_unique_catalan_in_window`."""
+    generator = coerce_generator(rng)
+    uniforms = generator.random((trials, total_length))
     hits = 0
     window_end = window_start + window_length - 1
-    for _ in range(trials):
-        word = sample_characteristic_string(probabilities, total_length, rng)
+    for i in range(trials):
+        word = _word_from_uniforms(probabilities, uniforms[i])
         slots = uniquely_honest_catalan_slots(word)
         if not any(window_start <= s <= window_end for s in slots):
             hits += 1
-    return _estimate(hits, trials)
+    return estimate_from_hits(hits, trials)
 
 
 def estimate_no_consecutive_catalan_in_window(
@@ -123,19 +259,44 @@ def estimate_no_consecutive_catalan_in_window(
     window_length: int,
     total_length: int,
     trials: int,
-    rng: random.Random,
+    rng: random.Random | np.random.Generator | int,
 ) -> Estimate:
     """Monte-Carlo probability of no two consecutive Catalan slots (Bound 2)."""
+    generator = coerce_generator(rng)
+    symbols = kernels.sample_characteristic_matrix(
+        probabilities, trials, total_length, generator
+    )
+    pairs = kernels.consecutive_catalan_mask(symbols)
+    window = pairs[:, window_start - 1 : window_start - 1 + window_length]
+    return estimate_from_hits(int((~window.any(axis=1)).sum()), trials)
+
+
+def estimate_no_consecutive_catalan_in_window_scalar(
+    probabilities: SlotProbabilities,
+    window_start: int,
+    window_length: int,
+    total_length: int,
+    trials: int,
+    rng: random.Random | np.random.Generator | int,
+) -> Estimate:
+    """Scalar oracle for :func:`estimate_no_consecutive_catalan_in_window`."""
+    generator = coerce_generator(rng)
+    uniforms = generator.random((trials, total_length))
     hits = 0
     window_end = window_start + window_length - 1
-    for _ in range(trials):
-        word = sample_characteristic_string(probabilities, total_length, rng)
+    for i in range(trials):
+        word = _word_from_uniforms(probabilities, uniforms[i])
         slots = set(catalan_slots(word))
         if not any(
             window_start <= s <= window_end and s + 1 in slots for s in slots
         ):
             hits += 1
-    return _estimate(hits, trials)
+    return estimate_from_hits(hits, trials)
+
+
+# ----------------------------------------------------------------------
+# Arbitrary samplers (the Theorem 1 dominance check)
+# ----------------------------------------------------------------------
 
 
 def estimate_violation_from_sampler(
@@ -149,6 +310,9 @@ def estimate_violation_from_sampler(
     ``sampler()`` must return a characteristic string of length at least
     ``target_slot + depth − 1``.  Used to check the dominance claim: a
     martingale-damped sampler must not exceed the i.i.d. probability.
+    Stays scalar by design — the sampler is an opaque callable; batched
+    martingale workloads go through
+    :func:`repro.engine.runner.run_scenario` instead.
     """
     from repro.core.margin import relative_margin
 
@@ -160,4 +324,4 @@ def estimate_violation_from_sampler(
             raise ValueError("sampler returned a string that is too short")
         if relative_margin(word[:needed], target_slot - 1) >= 0:
             hits += 1
-    return _estimate(hits, trials)
+    return estimate_from_hits(hits, trials)

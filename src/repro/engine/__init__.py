@@ -1,0 +1,55 @@
+"""Batched kernel engine: vectorized recurrences behind a scenario API.
+
+Three layers (bottom to top):
+
+* :mod:`repro.engine.kernels` — batched NumPy implementations of the
+  Theorem 5 recurrences on ``(trials, T)`` uint8 symbol matrices:
+  sampling, the reach reflected walk, the joint ``(ρ, μ)`` recurrence,
+  Catalan-slot detection, and the ρ_Δ reduction map.  The scalar
+  reference implementations in :mod:`repro.core` / :mod:`repro.delta`
+  are kept as cross-validation oracles.
+* :mod:`repro.engine.scenarios` — a frozen :class:`Scenario` dataclass
+  plus a registry of declarative Monte-Carlo workloads (i.i.d.,
+  Δ-synchronous–reduced, martingale-damped, adversarial-stake sweeps).
+* :mod:`repro.engine.runner` — :class:`ExperimentRunner`: chunked
+  batching of a scenario against an estimator with a seeded
+  ``numpy.random.Generator`` and :class:`Estimate` aggregation.
+"""
+
+from repro.engine import kernels
+from repro.engine.scenarios import (
+    Batch,
+    Scenario,
+    adversarial_stake_sweep,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.engine.runner import (
+    Estimate,
+    ExperimentRunner,
+    delta_settlement_violation,
+    estimate_from_hits,
+    no_consecutive_catalan_in_window,
+    no_unique_catalan_in_window,
+    run_scenario,
+    settlement_violation,
+)
+
+__all__ = [
+    "Batch",
+    "Estimate",
+    "ExperimentRunner",
+    "Scenario",
+    "adversarial_stake_sweep",
+    "delta_settlement_violation",
+    "estimate_from_hits",
+    "get_scenario",
+    "kernels",
+    "no_consecutive_catalan_in_window",
+    "no_unique_catalan_in_window",
+    "register",
+    "run_scenario",
+    "scenario_names",
+    "settlement_violation",
+]

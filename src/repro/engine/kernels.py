@@ -1,0 +1,648 @@
+"""Batched NumPy kernels for the Theorem 5 recurrences and their relatives.
+
+Every probability in the paper reduces to running a small per-symbol
+recurrence over characteristic strings: the reflected-walk reach
+(Eq. (13)), the joint ``(ρ, μ)`` margin recurrence (Eq. (14)), the
+Catalan-slot walk characterisation (Definition 11), and the ρ_Δ
+reduction map (Definition 22).  The scalar reference implementations
+live in :mod:`repro.core` and :mod:`repro.delta`; this module implements
+the *same* transitions on ``(trials, T)`` symbol matrices so that Monte
+Carlo throughput scales with array width instead of the Python
+interpreter.  The scalar paths are retained as cross-validation oracles;
+``tests/engine`` asserts exact agreement symbol-for-symbol.
+
+Symbol encoding
+---------------
+
+Characteristic strings are encoded as ``uint8`` codes::
+
+    h -> 0   (CODE_UNIQUE)      A -> 2   (CODE_ADVERSARIAL)
+    H -> 1   (CODE_MULTI)       . -> 3   (CODE_EMPTY)
+
+``CODE_EMPTY`` doubles as the padding value for ragged batches: an empty
+slot is a no-op for the reach and margin recurrences and contributes a
+zero step to the Section 5 walk, so trailing padding never changes a
+row's trajectory (the scalar recurrences reject ``.`` outright; the
+batched ones treat it as the identity transition, which is the unique
+consistent extension).
+
+Seed discipline
+---------------
+
+All samplers consume a ``numpy.random.Generator``.  Randomness is drawn
+in documented *phases* (e.g. one ``(trials,)`` uniform block for initial
+reaches, then one ``(trials, T)`` block for suffix symbols, row-major).
+Scalar oracles that reproduce a batched estimator bit-for-bit must draw
+the same blocks in the same order and map uniforms to symbols with the
+same thresholds — see ``*_from_uniforms`` below, which make the mapping
+explicit and deterministic given the uniform block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.alphabet import (
+    ADVERSARIAL,
+    EMPTY,
+    HONEST_MULTI,
+    HONEST_UNIQUE,
+)
+from repro.core.distributions import SlotProbabilities
+from repro.core.walks import bias_probabilities, stationary_reach_ratio
+
+#: uint8 code of each symbol (also the index into :data:`SYMBOLS`).
+CODE_UNIQUE = 0
+CODE_MULTI = 1
+CODE_ADVERSARIAL = 2
+CODE_EMPTY = 3
+
+#: Decode table: ``SYMBOLS[code]`` is the character of that code.
+SYMBOLS = HONEST_UNIQUE + HONEST_MULTI + ADVERSARIAL + EMPTY
+
+# Window-semantics modes of the ρ_Δ reduction.  The canonical constants
+# (and the erratum discussion of the two semantics) live in
+# repro.delta.reduction; these literals mirror them because importing the
+# delta package from here would be circular (delta.__init__ → settlement
+# → analysis.bounds → analysis.exact → this module).
+MODE_EMPTY_RUN = "empty-run"
+MODE_QUIET_WINDOW = "quiet-window"
+
+_ENCODE_TABLE = np.full(128, 255, dtype=np.uint8)
+for _code, _char in enumerate(SYMBOLS):
+    _ENCODE_TABLE[ord(_char)] = _code
+
+
+# ----------------------------------------------------------------------
+# Encoding / decoding
+# ----------------------------------------------------------------------
+
+
+def encode_word(word: str) -> np.ndarray:
+    """Encode one characteristic string as a ``(T,)`` uint8 vector."""
+    raw = np.frombuffer(word.encode("ascii"), dtype=np.uint8)
+    codes = _ENCODE_TABLE[raw]
+    if codes.size and codes.max() == 255:
+        bad = sorted(set(word) - set(SYMBOLS))
+        raise ValueError(f"invalid symbols {bad!r} for alphabet {SYMBOLS!r}")
+    return codes
+
+
+def encode_words(words: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Encode a batch of strings into a padded ``(n, T)`` matrix.
+
+    Rows shorter than the longest string are padded with
+    :data:`CODE_EMPTY` (a no-op for every kernel); the returned
+    ``lengths`` vector records each row's true length.
+    """
+    lengths = np.array([len(w) for w in words], dtype=np.int64)
+    width = int(lengths.max()) if len(words) else 0
+    matrix = np.full((len(words), width), CODE_EMPTY, dtype=np.uint8)
+    for i, word in enumerate(words):
+        matrix[i, : lengths[i]] = encode_word(word)
+    return matrix, lengths
+
+
+def decode_matrix(
+    symbols: np.ndarray, lengths: np.ndarray | None = None
+) -> list[str]:
+    """Decode a ``(n, T)`` code matrix back into strings.
+
+    With ``lengths`` given, each row is truncated to its true length
+    (inverse of :func:`encode_words`).
+    """
+    table = np.frombuffer(SYMBOLS.encode("ascii"), dtype=np.uint8)
+    rows = table[symbols]
+    out = []
+    for i in range(symbols.shape[0]):
+        row = rows[i] if lengths is None else rows[i, : lengths[i]]
+        out.append(row.tobytes().decode("ascii"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+
+
+def symbol_thresholds(
+    probabilities: SlotProbabilities,
+) -> tuple[float, float, float]:
+    """Cumulative thresholds ``(p_h, p_h+p_H, p_h+p_H+p_A)``.
+
+    A uniform ``u`` maps to ``h`` when ``u < p_h``, to ``H`` when
+    ``u < p_h + p_H``, to ``A`` when ``u < p_h + p_H + p_A`` and to ``⊥``
+    otherwise — the exact chained-comparison discipline of the scalar
+    :func:`repro.core.distributions.sample_characteristic_string`.
+    """
+    p_h, p_bigh, p_adv, _p_empty = probabilities.as_tuple()
+    return p_h, p_h + p_bigh, p_h + p_bigh + p_adv
+
+
+def symbols_from_uniforms(
+    probabilities: SlotProbabilities, uniforms: np.ndarray
+) -> np.ndarray:
+    """Map a uniform array to i.i.d. symbol codes (shape-preserving)."""
+    t_h, t_bigh, t_adv = symbol_thresholds(probabilities)
+    codes = (
+        (uniforms >= t_h).astype(np.uint8)
+        + (uniforms >= t_bigh)
+        + (uniforms >= t_adv)
+    )
+    return codes
+
+
+def sample_characteristic_matrix(
+    probabilities: SlotProbabilities,
+    trials: int,
+    length: int,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``(trials, length)`` i.i.d. symbol codes (one uniform block)."""
+    return symbols_from_uniforms(
+        probabilities, generator.random((trials, length))
+    )
+
+
+def martingale_from_uniforms(
+    probabilities: SlotProbabilities,
+    uniforms: np.ndarray,
+    correlation: float,
+) -> np.ndarray:
+    """Correlated (martingale-damped) symbols from a ``(n, T)`` uniform block.
+
+    Column ``t`` of the block decides slot ``t`` of every trial at once;
+    after an adversarial slot the conditional adversarial probability is
+    damped by ``correlation`` and the slack moved to uniquely honest
+    slots, exactly as the scalar
+    :func:`repro.core.distributions.sample_martingale_string`.
+    """
+    if not 0 <= correlation <= 1:
+        raise ValueError("correlation must lie in [0, 1]")
+    p_h, p_bigh, p_adv, _p_empty = probabilities.as_tuple()
+    trials, length = uniforms.shape
+    codes = np.empty((trials, length), dtype=np.uint8)
+    previous_adversarial = np.zeros(trials, dtype=bool)
+    for t in range(length):
+        adv = np.where(previous_adversarial, p_adv * correlation, p_adv)
+        slack = p_adv - adv
+        t_h = p_h + slack
+        t_bigh = t_h + p_bigh
+        t_adv = t_bigh + adv
+        u = uniforms[:, t]
+        codes[:, t] = (
+            (u >= t_h).astype(np.uint8) + (u >= t_bigh) + (u >= t_adv)
+        )
+        previous_adversarial = codes[:, t] == CODE_ADVERSARIAL
+    return codes
+
+
+def sample_martingale_matrix(
+    probabilities: SlotProbabilities,
+    trials: int,
+    length: int,
+    generator: np.random.Generator,
+    correlation: float = 0.5,
+) -> np.ndarray:
+    """Draw ``(trials, length)`` martingale-damped symbol codes."""
+    return martingale_from_uniforms(
+        probabilities, generator.random((trials, length)), correlation
+    )
+
+
+def initial_reaches_from_uniforms(
+    epsilon: float, uniforms: np.ndarray
+) -> np.ndarray:
+    """Map uniforms to X_∞ draws (Eq. (9)): ``Pr[X ≥ k] = β^k``.
+
+    Inverse-CDF form of the scalar rejection loop in
+    :func:`repro.analysis.montecarlo.sample_initial_reach`:
+    ``X = ⌊log u / log β⌋`` satisfies ``Pr[X ≥ k] = Pr[u < β^k] = β^k``.
+    """
+    beta = stationary_reach_ratio(epsilon)
+    safe = np.clip(uniforms, np.finfo(float).tiny, None)
+    return np.floor(np.log(safe) / np.log(beta)).astype(np.int64)
+
+
+def sample_initial_reaches(
+    epsilon: float, trials: int, generator: np.random.Generator
+) -> np.ndarray:
+    """Draw ``(trials,)`` initial reaches from the X_∞ law of Eq. (9)."""
+    return initial_reaches_from_uniforms(epsilon, generator.random(trials))
+
+
+# ----------------------------------------------------------------------
+# Reach: the reflected walk (Theorem 5, Eq. (13))
+# ----------------------------------------------------------------------
+
+
+def walk_step_matrix(symbols: np.ndarray) -> np.ndarray:
+    """Section 5 walk steps: ``+1`` for ``A``, ``−1`` honest, ``0`` for ``⊥``."""
+    steps = np.zeros(symbols.shape, dtype=np.int64)
+    steps[symbols == CODE_ADVERSARIAL] = 1
+    steps[(symbols == CODE_UNIQUE) | (symbols == CODE_MULTI)] = -1
+    return steps
+
+
+def prefix_sum_matrix(symbols: np.ndarray) -> np.ndarray:
+    """``(n, T+1)`` prefix sums ``S_0 = 0, …, S_T`` of the walk."""
+    trials = symbols.shape[0]
+    sums = np.zeros((trials, symbols.shape[1] + 1), dtype=np.int64)
+    np.cumsum(walk_step_matrix(symbols), axis=1, out=sums[:, 1:])
+    return sums
+
+
+def reach_trajectories(
+    symbols: np.ndarray, initial_reaches: np.ndarray | None = None
+) -> np.ndarray:
+    """``(n, T+1)`` reach values ``ρ`` along every row, batched.
+
+    Uses the closed form ``X_t = S_t − min_{i ≤ t} S_i`` of the reflected
+    walk (no per-slot Python loop), generalised to a non-zero start: a
+    walk started at height ``r₀`` reflects only once it has consumed the
+    initial headroom, ``X_t = S_t − min(−r₀, min_{i ≤ t} S_i)``.
+    Agrees exactly with :func:`repro.core.reach.reach_sequence`.
+    """
+    sums = prefix_sum_matrix(symbols)
+    floor = np.minimum.accumulate(sums, axis=1)
+    if initial_reaches is not None:
+        # min with a per-row constant preserves monotonicity, so no
+        # further accumulate pass is needed
+        floor = np.minimum(floor, -initial_reaches[:, None])
+    return sums - floor
+
+
+def final_reaches(
+    symbols: np.ndarray, initial_reaches: np.ndarray | None = None
+) -> np.ndarray:
+    """``ρ`` of every full row (last column of the trajectory)."""
+    return reach_trajectories(symbols, initial_reaches)[:, -1]
+
+
+# ----------------------------------------------------------------------
+# The joint (reach, margin) recurrence (Theorem 5, Eq. (14))
+# ----------------------------------------------------------------------
+
+
+def batched_margin_step(
+    rho: np.ndarray, mu: np.ndarray, column: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One joint transition ``(ρ, μ) → (ρ', μ')`` for a column of symbols.
+
+    Vector form of :func:`repro.core.margin.margin_step`; ``rho`` is
+    ``ρ(xy)`` *before* consuming the column.  Empty symbols are the
+    identity (used for padding).
+    """
+    adversarial = column == CODE_ADVERSARIAL
+    honest = (column == CODE_UNIQUE) | (column == CODE_MULTI)
+    stays_zero = (mu == 0) & ((rho > 0) | (column == CODE_MULTI))
+    new_mu = np.where(
+        adversarial,
+        mu + 1,
+        np.where(honest, np.where(stays_zero, 0, mu - 1), mu),
+    )
+    new_rho = np.where(
+        adversarial,
+        rho + 1,
+        np.where(honest, np.maximum(rho - 1, 0), rho),
+    )
+    return new_rho, new_mu
+
+
+def joint_final_states(
+    symbols: np.ndarray,
+    prefix_lengths: np.ndarray | int = 0,
+    initial_reaches: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Final ``(ρ(xy), μ_x(y))`` of every row without storing trajectories.
+
+    ``prefix_lengths`` gives ``|x|`` per row (or one int for all): while a
+    row is still inside its prefix the margin simply tracks the reach
+    (``μ_x(ε) = ρ(x)``), after which the Theorem 5 margin transition takes
+    over.  ``initial_reaches`` seeds ``ρ`` before the first symbol (the
+    X_∞ model of Table 1); it defaults to zero.
+    """
+    trials, length = symbols.shape
+    starts = np.broadcast_to(
+        np.asarray(prefix_lengths, dtype=np.int64), (trials,)
+    )
+    rho = (
+        np.zeros(trials, dtype=np.int64)
+        if initial_reaches is None
+        else initial_reaches.astype(np.int64).copy()
+    )
+    mu = rho.copy()
+    for t in range(length):
+        new_rho, new_mu = batched_margin_step(rho, mu, symbols[:, t])
+        in_prefix = t < starts
+        mu = np.where(in_prefix, new_rho, new_mu)
+        rho = new_rho
+    return rho, mu
+
+
+def margin_trajectories(
+    symbols: np.ndarray,
+    prefix_lengths: np.ndarray | int = 0,
+    initial_reaches: np.ndarray | None = None,
+) -> np.ndarray:
+    """``(n, T+1)`` margin values along every row.
+
+    Column ``t`` holds ``μ_x(y_1 … y_{t−|x|})`` once ``t ≥ |x|`` and the
+    running reach ``ρ(w_1 … w_t)`` while still inside the prefix (so that
+    column ``|x|`` is ``μ_x(ε) = ρ(x)``, matching
+    :func:`repro.core.margin.margin_sequence` entry 0).
+    """
+    trials, length = symbols.shape
+    starts = np.broadcast_to(
+        np.asarray(prefix_lengths, dtype=np.int64), (trials,)
+    )
+    rho = (
+        np.zeros(trials, dtype=np.int64)
+        if initial_reaches is None
+        else initial_reaches.astype(np.int64).copy()
+    )
+    mu = rho.copy()
+    out = np.empty((trials, length + 1), dtype=np.int64)
+    out[:, 0] = mu
+    for t in range(length):
+        new_rho, new_mu = batched_margin_step(rho, mu, symbols[:, t])
+        in_prefix = t < starts
+        mu = np.where(in_prefix, new_rho, new_mu)
+        rho = new_rho
+        out[:, t + 1] = mu
+    return out
+
+
+# ----------------------------------------------------------------------
+# Catalan slots (Definition 11, walk characterisation)
+# ----------------------------------------------------------------------
+
+
+def catalan_slot_mask(symbols: np.ndarray) -> np.ndarray:
+    """Boolean ``(n, T)`` mask: column ``s−1`` marks slot ``s`` Catalan.
+
+    Vector form of :func:`repro.core.catalan.catalan_slots`: a strict new
+    walk minimum at ``s`` (left-Catalan) whose level is never revisited
+    (right-Catalan).  Padding rows with ``⊥`` is harmless — the walk is
+    flat there and ``⊥`` is never honest.
+    """
+    sums = prefix_sum_matrix(symbols)
+    prefix_min = np.minimum.accumulate(sums, axis=1)
+    suffix_max = np.maximum.accumulate(sums[:, ::-1], axis=1)[:, ::-1]
+    honest = (symbols == CODE_UNIQUE) | (symbols == CODE_MULTI)
+    new_minimum = sums[:, 1:] < prefix_min[:, :-1]
+    never_returns = suffix_max[:, 1:] < sums[:, :-1]
+    return honest & new_minimum & never_returns
+
+
+def uniquely_honest_catalan_mask(symbols: np.ndarray) -> np.ndarray:
+    """Columns of uniquely honest Catalan slots (the UVP slots of Thm 3)."""
+    return catalan_slot_mask(symbols) & (symbols == CODE_UNIQUE)
+
+
+def consecutive_catalan_mask(symbols: np.ndarray) -> np.ndarray:
+    """``(n, T−1)`` mask: column ``s−1`` marks both ``s``, ``s+1`` Catalan."""
+    mask = catalan_slot_mask(symbols)
+    return mask[:, :-1] & mask[:, 1:]
+
+
+# ----------------------------------------------------------------------
+# The ρ_Δ reduction map (Definition 22)
+# ----------------------------------------------------------------------
+
+
+def reduce_matrix(
+    symbols: np.ndarray,
+    delta: int,
+    mode: str = MODE_EMPTY_RUN,
+    lengths: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ρ_Δ: reduce every row of a semi-synchronous symbol matrix.
+
+    Returns ``(reduced, reduced_lengths)`` where ``reduced`` is padded
+    with :data:`CODE_EMPTY` to the input width.  Matches
+    :func:`repro.delta.reduction.reduce_string` row-for-row (both window
+    semantics; see that module's erratum note): an honest symbol is kept
+    iff it is followed — *within its row's true length* — by Δ symbols
+    from the allowed set, otherwise it is relabelled adversarial; empty
+    slots are deleted and the survivors compacted to the left.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    trials, width = symbols.shape
+    if lengths is None:
+        lengths = np.full(trials, width, dtype=np.int64)
+
+    columns = np.arange(width)
+    valid = columns[None, :] < lengths[:, None]
+
+    if mode == MODE_EMPTY_RUN:
+        allowed = symbols == CODE_EMPTY
+    elif mode == MODE_QUIET_WINDOW:
+        allowed = (symbols == CODE_EMPTY) | (symbols == CODE_ADVERSARIAL)
+    else:
+        raise ValueError(f"unknown reduction mode {mode!r}")
+
+    # Window check: positions j+1 … j+Δ must all be allowed and lie inside
+    # the row (j + Δ < length).  Prefix sums of the allowed mask give every
+    # window count in one subtraction.
+    counts = np.zeros((trials, width + 1), dtype=np.int64)
+    np.cumsum(allowed & valid, axis=1, out=counts[:, 1:])
+    hi = np.minimum(columns[None, :] + 1 + delta, width)
+    window = np.take_along_axis(counts, hi, axis=1) - counts[:, 1:]
+    quiet = (window == delta) & (columns[None, :] + delta < lengths[:, None])
+
+    honest = (symbols == CODE_UNIQUE) | (symbols == CODE_MULTI)
+    relabeled = np.where(
+        honest & ~quiet, np.uint8(CODE_ADVERSARIAL), symbols
+    )
+
+    keep = valid & (symbols != CODE_EMPTY)
+    reduced_lengths = keep.sum(axis=1)
+    positions = np.cumsum(keep, axis=1) - 1
+    reduced = np.full((trials, width), CODE_EMPTY, dtype=np.uint8)
+    rows = np.nonzero(keep)[0]
+    reduced[rows, positions[keep]] = relabeled[keep]
+    return reduced, reduced_lengths
+
+
+def reduced_slot_columns(
+    symbols: np.ndarray, target_slot: int, lengths: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-row 0-based column of ``π(target_slot)`` in the reduced matrix.
+
+    ``π`` is the increasing bijection of
+    :func:`repro.delta.reduction.slot_bijection`: the image of a
+    non-empty source slot is its rank among non-empty slots.  Rows whose
+    target slot is empty (no image — vacuously settled in Definition 23)
+    or out of range get the sentinel ``−1``.
+    """
+    trials, width = symbols.shape
+    if not 1 <= target_slot <= width:
+        raise ValueError(f"slot {target_slot} outside [1, {width}]")
+    if lengths is None:
+        lengths = np.full(trials, width, dtype=np.int64)
+    non_empty = symbols[:, :target_slot] != CODE_EMPTY
+    rank = non_empty.sum(axis=1) - 1
+    has_image = non_empty[:, -1] & (target_slot <= lengths)
+    return np.where(has_image, rank, -1)
+
+
+# ----------------------------------------------------------------------
+# Biased-walk samplers (Section 5)
+# ----------------------------------------------------------------------
+
+
+def reflected_walk_heights_from_uniforms(
+    epsilon: float, uniforms: np.ndarray
+) -> np.ndarray:
+    """Final heights ``X_T`` of reflected ε-biased walks, one per row.
+
+    ``u < p`` steps up, else down; same Bernoulli discipline as the
+    scalar :func:`repro.core.walks.sample_reflected_walk_height`.
+    """
+    p, _q = bias_probabilities(epsilon)
+    steps = np.where(uniforms < p, 1, -1).astype(np.int64)
+    sums = np.zeros((uniforms.shape[0], uniforms.shape[1] + 1), dtype=np.int64)
+    np.cumsum(steps, axis=1, out=sums[:, 1:])
+    floor = np.minimum.accumulate(sums, axis=1)
+    return sums[:, -1] - floor[:, -1]
+
+
+def descent_times(
+    epsilon: float,
+    trials: int,
+    generator: np.random.Generator,
+    cutoff: int = 10**6,
+) -> np.ndarray:
+    """Batched descent stopping times (first hit of ``−1``); 0 = censored.
+
+    One uniform block per time step over the still-active rows' columns
+    (drawn for all rows to keep the stream shape deterministic); rows
+    that never descend within ``cutoff`` steps report 0.
+    """
+    p, _q = bias_probabilities(epsilon)
+    position = np.zeros(trials, dtype=np.int64)
+    times = np.zeros(trials, dtype=np.int64)
+    active = np.ones(trials, dtype=bool)
+    for t in range(1, cutoff + 1):
+        if not active.any():
+            break
+        u = generator.random(trials)
+        step = np.where(u < p, 1, -1)
+        position = np.where(active, position + step, position)
+        arrived = active & (position == -1)
+        times[arrived] = t
+        active &= ~arrived
+    return times
+
+
+# ----------------------------------------------------------------------
+# The Section 6.6 settlement DP (transition steps shared with
+# repro.analysis.exact)
+# ----------------------------------------------------------------------
+
+
+def settlement_grid_shape(k_max: int) -> tuple[int, int]:
+    """Rows index reach ``r ∈ [0, R]``; columns index ``m ∈ [−k_max, R]``.
+
+    ``R = k_max + 2``; see :mod:`repro.analysis.exact` for the proof that
+    this truncation is exact for horizons ``t ≤ k_max``.
+    """
+    cap = k_max + 2
+    return cap + 1, k_max + cap + 1
+
+
+def settlement_initial_grid(
+    probabilities: SlotProbabilities,
+    k_max: int,
+    prefix_length: int | None,
+) -> np.ndarray:
+    """Initial joint law of ``(ρ(x), μ_x(ε))`` on the DP grid.
+
+    ``prefix_length=None`` places the X_∞ geometric law on the diagonal
+    (absorbing excess mass in the certain-violation corner); an integer
+    uses the exact reach distribution of an i.i.d. prefix of that length.
+    """
+    rows, cols = settlement_grid_shape(k_max)
+    cap = rows - 1
+    offset = k_max  # column index of m == 0
+    grid = np.zeros((rows, cols))
+
+    if prefix_length is None:
+        beta = stationary_reach_ratio(probabilities.epsilon)
+        for r in range(cap):
+            grid[r, offset + r] = (1.0 - beta) * beta**r
+        grid[cap, offset + cap] = beta**cap  # absorbed tail: certain violation
+    else:
+        reach_pmf = prefix_reach_pmf(probabilities, prefix_length, cap)
+        for r in range(cap):
+            grid[r, offset + r] = reach_pmf[r]
+        grid[cap, offset + cap] = max(1.0 - reach_pmf[:cap].sum(), 0.0)
+    return grid
+
+
+def prefix_reach_pmf(
+    probabilities: SlotProbabilities, length: int, cap: int
+) -> np.ndarray:
+    """Distribution of ρ(x) for an i.i.d. prefix of given length.
+
+    The reach recurrence is a reflected walk: +1 on ``A`` (probability
+    p_A), max(·−1, 0) on honest symbols.  Mass at or above ``cap`` is
+    accumulated in the top cell (same saturation argument as the joint
+    grid).
+    """
+    p_adv = probabilities.p_adversarial
+    p_honest = probabilities.p_honest
+    pmf = np.zeros(cap + 1)
+    pmf[0] = 1.0
+    for _ in range(length):
+        nxt = np.zeros_like(pmf)
+        nxt[1:] += p_adv * pmf[:-1]
+        nxt[-1] += p_adv * pmf[-1]
+        nxt[:-1] += p_honest * pmf[1:]
+        nxt[0] += p_honest * pmf[0]
+        pmf = nxt
+    return pmf
+
+
+def settlement_adversarial_step(grid: np.ndarray) -> np.ndarray:
+    """DP transition on ``A``: ``(r, m) → (r+1, m+1)``, saturating at the cap."""
+    out = np.zeros_like(grid)
+    out[1:, 1:] = grid[:-1, :-1]
+    out[-1, 1:] += grid[-1, :-1]
+    out[1:, -1] += grid[:-1, -1]
+    out[-1, -1] += grid[-1, -1]
+    return out
+
+
+def settlement_honest_step(
+    grid: np.ndarray, k_max: int, unique: bool
+) -> np.ndarray:
+    """DP transition on ``h`` (unique) or ``H`` (multi); Theorem 5, Eq. (14).
+
+    Generic motion is ``(r, m) → (max(r−1, 0), m−1)``; the m = 0 column is
+    then corrected: with r > 0 the margin stays at 0 for both symbols,
+    with r = 0 it stays at 0 only for ``H``.
+    """
+    offset = k_max  # column of m == 0
+    colshift = np.zeros_like(grid)
+    colshift[:, :-1] = grid[:, 1:]
+
+    out = np.zeros_like(grid)
+    out[:-1, :] += colshift[1:, :]
+    out[0, :] += colshift[0, :]
+
+    # m == 0, r > 0: margin stays 0 (was shifted to m = −1 above).
+    out[:-1, offset - 1] -= grid[1:, offset]
+    out[:-1, offset] += grid[1:, offset]
+    if not unique:
+        # m == 0, r == 0, symbol H: margin stays 0 as well.
+        out[0, offset - 1] -= grid[0, offset]
+        out[0, offset] += grid[0, offset]
+    return out
+
+
+def settlement_violation_mass(grid: np.ndarray, k_max: int) -> float:
+    """``Pr[m ≥ 0]`` — total mass in the non-negative margin columns."""
+    return float(grid[:, k_max:].sum())

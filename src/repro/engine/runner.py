@@ -1,0 +1,205 @@
+"""Chunked scenario execution: ExperimentRunner and Estimate aggregation.
+
+The runner is the engine's third layer: it takes a declarative
+:class:`repro.engine.scenarios.Scenario`, an *estimator* (a callable
+mapping one sampled :class:`~repro.engine.scenarios.Batch` to a boolean
+hit vector), and executes the requested number of trials in fixed-size
+chunks against a single seeded ``numpy.random.Generator``.
+
+Reproducibility contract
+------------------------
+
+For a fixed ``(seed, chunk_size)`` pair the run is bit-reproducible: the
+generator is created from the seed and consumed strictly sequentially,
+one chunk at a time, with the randomness phases documented on
+``Scenario.sample_batch``.  (Changing ``chunk_size`` re-partitions the
+uniform stream between phases and may therefore change individual
+samples — the estimate remains statistically identical, but not
+bit-identical.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.engine import kernels
+from repro.engine.scenarios import Batch, Scenario
+
+#: An estimator maps (scenario, batch) to a boolean hit vector.
+Estimator = Callable[[Scenario, Batch], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A Monte-Carlo estimate with its standard error."""
+
+    value: float
+    standard_error: float
+    trials: int
+
+    def within(self, target: float, sigmas: float = 4.0) -> bool:
+        """Is ``target`` within ``sigmas`` standard errors of the estimate?"""
+        slack = sigmas * self.standard_error + 1e-12
+        return abs(self.value - target) <= slack
+
+
+def estimate_from_hits(hits: int, trials: int) -> Estimate:
+    """Wrap a Bernoulli hit count in an :class:`Estimate`."""
+    rate = hits / trials
+    se = math.sqrt(max(rate * (1.0 - rate), 1e-12) / trials)
+    return Estimate(rate, se, trials)
+
+
+# ----------------------------------------------------------------------
+# Built-in estimators
+# ----------------------------------------------------------------------
+
+
+def settlement_violation(scenario: Scenario, batch: Batch) -> np.ndarray:
+    """``μ_x(y) ≥ 0`` at suffix length exactly ``depth`` (Fact 6 / Lemma 1).
+
+    The per-batch indicator behind Table 1: for synchronous scenarios the
+    sampled width is ``|x| + depth``, so the final joint state *is* the
+    read-out at the checkpoint.
+    """
+    _rho, mu = kernels.joint_final_states(
+        batch.symbols, batch.start_columns, batch.initial_reaches
+    )
+    return mu >= 0
+
+
+def delta_settlement_violation(scenario: Scenario, batch: Batch) -> np.ndarray:
+    """(k, Δ)-settlement failure on reduced strings (Definition 23 via Lemma 1).
+
+    A row is a violation when its reduced margin is non-negative at *some*
+    suffix length ≥ ``depth`` — the batched complement of
+    :func:`repro.delta.settlement.is_k_delta_settled`.  Rows whose target
+    slot was empty (start column ``−1``) are vacuously settled.
+    """
+    starts = batch.start_columns
+    margins = kernels.margin_trajectories(
+        batch.symbols, np.maximum(starts, 0), batch.initial_reaches
+    )
+    columns = np.arange(margins.shape[1])[None, :]
+    in_window = (columns >= (starts + scenario.depth)[:, None]) & (
+        columns <= batch.lengths[:, None]
+    )
+    violated = ((margins >= 0) & in_window).any(axis=1)
+    return violated & (starts >= 0)
+
+
+def no_unique_catalan_in_window(
+    window_start: int, window_length: int
+) -> Estimator:
+    """Estimator factory: no uniquely honest Catalan slot in the window.
+
+    The event of Bound 1, evaluated on the whole sampled string (boundary
+    effects included, as in the scalar estimator).
+    """
+
+    def estimator(scenario: Scenario, batch: Batch) -> np.ndarray:
+        mask = kernels.uniquely_honest_catalan_mask(batch.symbols)
+        window = mask[:, window_start - 1 : window_start - 1 + window_length]
+        return ~window.any(axis=1)
+
+    return estimator
+
+
+def no_consecutive_catalan_in_window(
+    window_start: int, window_length: int
+) -> Estimator:
+    """Estimator factory: no two consecutive Catalan slots starting in
+    the window (the event of Bound 2)."""
+
+    def estimator(scenario: Scenario, batch: Batch) -> np.ndarray:
+        pairs = kernels.consecutive_catalan_mask(batch.symbols)
+        window = pairs[:, window_start - 1 : window_start - 1 + window_length]
+        return ~window.any(axis=1)
+
+    return estimator
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+class ExperimentRunner:
+    """Execute a scenario against an estimator with chunked batching.
+
+    ``chunk_size`` bounds peak memory (a chunk materialises a
+    ``(chunk, horizon)`` symbol matrix plus the estimator's temporaries);
+    the default keeps chunks comfortably inside cache for typical
+    horizons while amortising NumPy dispatch.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        estimator: Estimator | None = None,
+        chunk_size: int = 4096,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.scenario = scenario
+        self.estimator = estimator or self._default_estimator(scenario)
+        self.chunk_size = chunk_size
+
+    @staticmethod
+    def _default_estimator(scenario: Scenario) -> Estimator:
+        return (
+            delta_settlement_violation
+            if scenario.reduced
+            else settlement_violation
+        )
+
+    def run(self, trials: int, seed: int | np.random.Generator) -> Estimate:
+        """Run ``trials`` trials and aggregate into an :class:`Estimate`.
+
+        ``seed`` is an integer (preferred: the run is then self-contained
+        and bit-reproducible) or an existing generator to continue.
+        """
+        if trials < 1:
+            raise ValueError("trials must be positive")
+        generator = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        hits = 0
+        remaining = trials
+        while remaining > 0:
+            chunk = min(self.chunk_size, remaining)
+            batch = self.scenario.sample_batch(chunk, generator)
+            chunk_hits = np.asarray(self.estimator(self.scenario, batch))
+            if chunk_hits.shape != (chunk,):
+                raise ValueError(
+                    "estimator must return one boolean per trial, got shape "
+                    f"{chunk_hits.shape} for chunk of {chunk}"
+                )
+            hits += int(chunk_hits.sum())
+            remaining -= chunk
+        return estimate_from_hits(hits, trials)
+
+
+def run_scenario(
+    name: str,
+    trials: int,
+    seed: int,
+    estimator: Estimator | None = None,
+    chunk_size: int = 4096,
+    **overrides,
+) -> Estimate:
+    """One-call convenience: look up, override, run.
+
+    ``run_scenario("iid-settlement", 100_000, seed=7, depth=200)`` is the
+    whole Monte-Carlo pipeline for a Table 1 cell.
+    """
+    from repro.engine.scenarios import get_scenario
+
+    scenario = get_scenario(name, **overrides)
+    return ExperimentRunner(scenario, estimator, chunk_size).run(trials, seed)

@@ -1,0 +1,143 @@
+"""ExperimentRunner: reproducibility, estimator equivalence, DP agreement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import settlement_violation_probability
+from repro.analysis.montecarlo import (
+    estimate_no_consecutive_catalan_in_window,
+    estimate_no_consecutive_catalan_in_window_scalar,
+    estimate_no_unique_catalan_in_window,
+    estimate_no_unique_catalan_in_window_scalar,
+    estimate_settlement_violation,
+    estimate_settlement_violation_scalar,
+)
+from repro.core.distributions import (
+    bernoulli_condition,
+    semi_synchronous_condition,
+)
+from repro.delta.settlement import is_k_delta_settled
+from repro.engine import (
+    ExperimentRunner,
+    delta_settlement_violation,
+    get_scenario,
+    kernels,
+    run_scenario,
+)
+
+
+class TestReproducibility:
+    def test_bit_reproducible_for_fixed_seed(self):
+        runner = ExperimentRunner(get_scenario("iid-settlement", depth=20))
+        first = runner.run(10_000, seed=42)
+        second = runner.run(10_000, seed=42)
+        assert first == second
+
+    def test_chunking_covers_all_trials(self):
+        runner = ExperimentRunner(
+            get_scenario("iid-settlement", depth=10), chunk_size=300
+        )
+        estimate = runner.run(1000, seed=1)
+        assert estimate.trials == 1000
+
+    def test_different_seeds_differ(self):
+        runner = ExperimentRunner(get_scenario("iid-settlement", depth=20))
+        assert runner.run(5000, seed=1) != runner.run(5000, seed=2)
+
+    def test_estimator_shape_validated(self):
+        runner = ExperimentRunner(
+            get_scenario("iid-settlement", depth=10),
+            estimator=lambda scenario, batch: np.array([True]),
+        )
+        with pytest.raises(ValueError, match="one boolean per trial"):
+            runner.run(100, seed=3)
+
+
+class TestAgreementWithExactDP:
+    def test_stationary(self):
+        scenario = get_scenario("iid-settlement", depth=25)
+        estimate = ExperimentRunner(scenario).run(40_000, seed=5)
+        exact = settlement_violation_probability(scenario.probabilities, 25)
+        assert estimate.within(exact, sigmas=4)
+
+    def test_finite_prefix(self):
+        scenario = get_scenario("iid-finite-prefix")
+        estimate = ExperimentRunner(scenario).run(40_000, seed=6)
+        exact = settlement_violation_probability(
+            scenario.probabilities,
+            scenario.depth,
+            prefix_length=scenario.prefix_model,
+        )
+        assert estimate.within(exact, sigmas=4)
+
+    def test_martingale_dominated_by_iid(self):
+        scenario = get_scenario("martingale-damped")
+        damped = ExperimentRunner(scenario).run(30_000, seed=7)
+        iid = ExperimentRunner(
+            get_scenario(
+                "martingale-damped", sampler="iid", correlation=1.0
+            )
+        ).run(30_000, seed=7)
+        slack = 4 * (damped.standard_error + iid.standard_error)
+        assert damped.value <= iid.value + slack
+
+    def test_run_scenario_convenience(self):
+        direct = ExperimentRunner(get_scenario("iid-settlement", depth=15)).run(
+            2000, 8
+        )
+        convenient = run_scenario("iid-settlement", 2000, seed=8, depth=15)
+        assert direct == convenient
+
+
+class TestDeltaEstimator:
+    def test_matches_scalar_decision_procedure(self):
+        scenario = get_scenario(
+            "delta-synchronous",
+            probabilities=semi_synchronous_condition(0.5, 0.2, 0.2),
+            depth=5,
+            target_slot=4,
+            total_length=30,
+            delta=2,
+        )
+        generator = np.random.default_rng(9)
+        batch = scenario.sample_batch(400, generator)
+        hits = delta_settlement_violation(scenario, batch)
+
+        replay = np.random.default_rng(9)
+        raw = kernels.sample_characteristic_matrix(
+            scenario.probabilities, 400, scenario.total_length, replay
+        )
+        for i, word in enumerate(kernels.decode_matrix(raw)):
+            expected = not is_k_delta_settled(
+                word, scenario.target_slot, scenario.depth, scenario.delta
+            )
+            assert bool(hits[i]) == expected
+
+
+class TestScalarOracleBitEquality:
+    """Batched estimators and their *_scalar twins share the documented
+    seed discipline: equal seeds must give bit-identical estimates."""
+
+    probabilities = bernoulli_condition(0.4, 0.3)
+
+    @pytest.mark.parametrize("prefix_length", [None, 7])
+    def test_settlement_pair(self, prefix_length):
+        batched = estimate_settlement_violation(
+            self.probabilities, 20, 1500, 101, prefix_length=prefix_length
+        )
+        scalar = estimate_settlement_violation_scalar(
+            self.probabilities, 20, 1500, 101, prefix_length=prefix_length
+        )
+        assert batched == scalar
+
+    def test_unique_catalan_pair(self):
+        args = (self.probabilities, 10, 20, 60, 1000, 102)
+        assert estimate_no_unique_catalan_in_window(
+            *args
+        ) == estimate_no_unique_catalan_in_window_scalar(*args)
+
+    def test_consecutive_catalan_pair(self):
+        args = (self.probabilities, 10, 20, 60, 1000, 103)
+        assert estimate_no_consecutive_catalan_in_window(
+            *args
+        ) == estimate_no_consecutive_catalan_in_window_scalar(*args)

@@ -14,13 +14,13 @@ exponentially; the bound's decay rate tracks min(ε³, ε²p_h).
 
 import pytest
 
-from bench_config import SEEDS, TRIALS
+from bench_config import TRIALS
 from repro.analysis.bounds import (
     theorem1_asymptotic_rate,
     theorem1_settlement_bound,
 )
 from repro.analysis.exact import compute_settlement_probabilities
-from repro.engine import ExperimentRunner, Scenario
+from repro.engine import cache_from_env, get_grid, run_grid
 from repro.core.distributions import bernoulli_condition
 
 SWEEP_DEPTHS = [20, 40, 80, 160]
@@ -53,29 +53,32 @@ def test_bound_dominates_exact_across_sweep(benchmark, epsilon, p_unique):
 
 
 def test_monte_carlo_sits_on_exact(benchmark):
-    epsilon, p_unique, depth = 0.35, 0.3, 30
-    probabilities = bernoulli_condition(epsilon, p_unique)
-    runner = ExperimentRunner(
-        Scenario(
-            name="bounds-vs-exact",
-            probabilities=probabilities,
-            depth=depth,
-            description="MC cross-check of the Section 6.6 DP",
-        )
-    )
+    # The registered "bounds-vs-exact" sweep grid: one MC point per depth
+    # the exact DP and Bound 1 are compared on, orchestrated (and, when
+    # run_all.py sets $REPRO_SWEEP_CACHE, cached) by the sweep layer.
+    grid = get_grid("bounds-vs-exact")
+    probabilities = dict(grid.overrides)["probabilities"]
     trials = TRIALS["bounds_vs_exact_mc"]
 
-    estimate = benchmark.pedantic(
-        runner.run,
-        args=(trials, SEEDS["bounds_vs_exact_mc"]),
+    rows = benchmark.pedantic(
+        run_grid,
+        args=(grid,),
+        kwargs={"trials": trials, "cache": cache_from_env()},
         rounds=1,
         iterations=1,
     )
 
-    exact = compute_settlement_probabilities(probabilities, [depth])[depth]
-    assert estimate.within(exact, sigmas=4)
-    benchmark.extra_info["exact"] = f"{exact:.4f}"
-    benchmark.extra_info["monte_carlo"] = f"{estimate.value:.4f}"
+    depths = [depth for (_name, values) in grid.axes for depth in values]
+    exact = compute_settlement_probabilities(probabilities, depths)
+    for row in rows:
+        slack = 4 * row["standard_error"] + 1e-12
+        assert abs(row["value"] - exact[row["depth"]]) <= slack
+    benchmark.extra_info["exact"] = {
+        depth: f"{exact[depth]:.4f}" for depth in depths
+    }
+    benchmark.extra_info["monte_carlo"] = {
+        row["depth"]: f"{row['value']:.4f}" for row in rows
+    }
     benchmark.extra_info["trials"] = trials
 
 

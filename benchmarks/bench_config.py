@@ -7,12 +7,13 @@ dictionary).  Seeds are arbitrary but fixed: the suite is deterministic
 run-to-run.
 """
 
-#: Per-experiment seeds (one namespace per bench file).
+#: Per-experiment seeds (one namespace per bench file).  Sweep-driven
+#: benches (bounds-vs-exact, delta, table1 Monte Carlo) take their seeds
+#: from the registered grids in repro.engine.sweeps instead — the grid
+#: seed is part of the result-cache key, so it lives with the grid.
 SEEDS = {
-    "bounds_vs_exact_mc": 99,
     "cp_measured_rate": 77,
     "cp_bivalent_windows": 31,
-    "delta_sweep_rate": 12345,  # per-Δ offset added by the bench
     "fig4_throughput": 1000,  # per-length offset added by the bench
     "fig4_canonicality": 7,
     "protocol_attack": "bench-attack",  # protocol sims take string seeds
@@ -31,4 +32,7 @@ TRIALS = {
     # The engine perf baseline (the run_all.py acceptance point):
     "engine_trials": 10000,
     "engine_depth": 200,
+    # Per-point trials for the Monte-Carlo sweep grids (bench-sized;
+    # the grids' own defaults are the production sizes):
+    "table1_mc_sweep": 20000,
 }

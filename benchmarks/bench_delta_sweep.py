@@ -8,13 +8,11 @@ rate; the (1 + Δ)·ε/(1 − ε) additive penalty is visible as a roughly
 geometric bound inflation per unit of Δ.
 """
 
-import pytest
-
-from bench_config import SEEDS, TRIALS
+from bench_config import TRIALS
 from repro.core.distributions import semi_synchronous_condition
 from repro.delta.reduction import reduced_epsilon
 from repro.delta.settlement import theorem7_error_bound
-from repro.engine import ExperimentRunner, get_scenario
+from repro.engine import cache_from_env, get_grid, run_grid
 
 ACTIVITY = 0.05
 P_ADVERSARIAL = 0.005
@@ -43,24 +41,28 @@ def test_delta_sweep_bounds(benchmark):
     benchmark.extra_info["theorem7_bound"] = [f"{b:.3E}" for b in bounds]
 
 
-@pytest.mark.parametrize("delta", [0, 4])
-def test_bound_dominates_measured_rate(benchmark, delta):
-    # The registered Theorem 7 workload, re-parameterised per Δ; the
-    # estimator is the batched (k, Δ)-settlement criterion on reduced
-    # strings (exactly repro.delta.settlement.is_k_delta_settled).
-    scenario = get_scenario("delta-synchronous", delta=delta)
-    probabilities = scenario.probabilities
-    runner = ExperimentRunner(scenario)
+def test_bound_dominates_measured_rate(benchmark):
+    # The registered "delta" sweep grid: the Theorem 7 workload per Δ,
+    # orchestrated by the sweep layer; the estimator is the batched
+    # (k, Δ)-settlement criterion on reduced strings (exactly
+    # repro.delta.settlement.is_k_delta_settled).
+    grid = get_grid("delta")
     trials = TRIALS["delta_sweep_rate"]
 
-    estimate = benchmark.pedantic(
-        runner.run,
-        args=(trials, SEEDS["delta_sweep_rate"] + delta),
+    rows = benchmark.pedantic(
+        run_grid,
+        args=(grid,),
+        kwargs={"trials": trials, "cache": cache_from_env()},
         rounds=1,
         iterations=1,
     )
 
-    bound = theorem7_error_bound(probabilities, scenario.depth, delta)
-    assert bound >= estimate.value - 0.05
-    benchmark.extra_info["measured_rate"] = f"{estimate.value:.4f}"
-    benchmark.extra_info["bound"] = f"{bound:.4f}"
+    scenario = grid.points()[0].scenario
+    for row in rows:
+        bound = theorem7_error_bound(
+            scenario.probabilities, scenario.depth, row["delta"]
+        )
+        assert bound >= row["value"] - 0.05, (row, bound)
+        benchmark.extra_info[f"delta={row['delta']}"] = (
+            f"measured {row['value']:.4f}, bound {bound:.4f}"
+        )

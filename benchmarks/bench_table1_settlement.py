@@ -11,12 +11,14 @@ Run: ``pytest benchmarks/bench_table1_settlement.py --benchmark-only``
 
 import pytest
 
+from bench_config import TRIALS
 from repro.analysis.exact import (
     compute_settlement_probabilities,
     settlement_violation_probability,
 )
 from repro.core.distributions import from_adversarial_stake
 from repro.data.table1 import PAPER_TABLE1
+from repro.engine import cache_from_env, get_grid, run_grid
 
 #: One full row group (fraction 0.8) and one full column (α = 0.30).
 ROW_CELLS = [(0.8, alpha, 100) for alpha in (0.01, 0.10, 0.20, 0.30, 0.40, 0.49)]
@@ -53,3 +55,28 @@ def test_table1_block_sweep(benchmark):
     for depth in depths:
         expected = PAPER_TABLE1[(0.5, 0.30, depth)]
         assert computation[depth] == pytest.approx(expected, rel=6e-3)
+
+
+def test_table1_monte_carlo_grid(benchmark):
+    """The registered "table1" sweep grid — the table's (α, p_h/(1−α), k)
+    structure at Monte-Carlo-resolvable depths — orchestrated by the
+    sweep layer and cross-checked point-by-point against the exact DP."""
+    grid = get_grid("table1")
+    trials = TRIALS["table1_mc_sweep"]
+
+    rows = benchmark.pedantic(
+        run_grid,
+        args=(grid,),
+        kwargs={"trials": trials, "cache": cache_from_env()},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(rows) == grid.size()
+    for row in rows:
+        probabilities = from_adversarial_stake(
+            row["alpha"], row["unique_fraction"]
+        )
+        exact = settlement_violation_probability(probabilities, row["depth"])
+        slack = 4 * row["standard_error"] + 1e-12
+        assert abs(row["value"] - exact) <= slack, (row, exact)

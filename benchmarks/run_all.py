@@ -1,18 +1,27 @@
 """Run the benchmark suite and record the engine performance baseline.
 
-Two jobs:
+Three jobs:
 
 1. measure scalar-vs-batched throughput of the Monte-Carlo estimators
    (the batched-engine acceptance point: >= 10x on
-   estimate_settlement_violation at depth 200, 10k trials) and write the
-   record to BENCH_engine.json at the repo root;
-2. optionally execute the pytest benchmark suite (skipped with
-   --perf-only; shrunk with --quick for CI).
+   estimate_settlement_violation at depth 200, 10k trials);
+2. run the "table1" sweep grid through the orchestration layer
+   (repro.engine.sweeps) against the on-disk result cache at
+   .sweep-cache/, recording wall-clock, cache traffic, and — on a cold
+   cache — the parallel-over-serial speedup.  A warm-cache rerun does
+   ZERO re-estimation: every point is served from the cache;
+3. optionally execute the pytest benchmark suite (skipped with
+   --perf-only; shrunk with --quick for CI).  The suite inherits the
+   cache via $REPRO_SWEEP_CACHE, so its sweep-driven benches also skip
+   already-computed points.
+
+Both records land in BENCH_engine.json at the repo root.
 
 Usage:
-    python benchmarks/run_all.py             # full: perf record + suite
-    python benchmarks/run_all.py --quick     # CI-sized subset
-    python benchmarks/run_all.py --perf-only # just the perf record
+    python benchmarks/run_all.py               # full: perf + sweep + suite
+    python benchmarks/run_all.py --quick       # CI-sized subset
+    python benchmarks/run_all.py --perf-only   # records only, no suite
+    python benchmarks/run_all.py --workers 8   # sweep fan-out width
 """
 
 from __future__ import annotations
@@ -38,6 +47,10 @@ from repro.analysis.montecarlo import (  # noqa: E402
     estimate_settlement_violation_scalar,
 )
 from repro.core.distributions import bernoulli_condition  # noqa: E402
+from repro.engine.cache import CACHE_DIR_ENV, ResultCache  # noqa: E402
+from repro.engine.sweeps import get_grid, run_grid  # noqa: E402
+
+SWEEP_CACHE_DIR = REPO_ROOT / ".sweep-cache"
 
 
 def _time(callable_, *args, **kwargs):
@@ -112,12 +125,57 @@ def perf_record(quick: bool) -> dict:
     }
 
 
+def sweep_record(quick: bool, workers: int) -> dict:
+    """Orchestrated-sweep wall-clock and cache traffic (the PR 2 point).
+
+    Runs the "table1" grid through the sweep layer with the persistent
+    cache.  Cold cache: every point is estimated (in parallel when
+    ``workers > 1``), then a serial uncached pass measures the baseline
+    and the speedup is recorded.  Warm cache: zero re-estimation — the
+    grid is served entirely from disk and only that fact is recorded.
+    """
+    grid = get_grid("table1")
+    trials = grid.trials // (10 if quick else 1)
+    cache = ResultCache(SWEEP_CACHE_DIR)
+
+    wall_s, rows = _time(
+        run_grid, grid, trials=trials, workers=workers, cache=cache
+    )
+    misses = sum(1 for row in rows if not row["cached"])
+    record = {
+        "grid": grid.name,
+        "points": len(rows),
+        "trials_per_point": trials,
+        "workers": workers,
+        "wall_seconds": round(wall_s, 4),
+        "cache_hits": len(rows) - misses,
+        "cache_misses": misses,
+    }
+    if misses == 0:
+        record["note"] = "warm cache: zero re-estimation"
+    elif misses < len(rows):
+        # Partially warm: wall-clock covers only the missed points, so
+        # no serial baseline or speedup would be comparable.
+        record["note"] = "partially warm cache: speedup not comparable"
+    elif workers == 1:
+        # The timed run *was* a full serial pass; nothing to compare.
+        record["serial_seconds"] = record["wall_seconds"]
+    else:
+        # Fully cold parallel run: a serial uncached pass gives the
+        # like-for-like baseline the speedup is recorded against.
+        serial_s, _ = _time(run_grid, grid, trials=trials, workers=1)
+        record["serial_seconds"] = round(serial_s, 4)
+        record["parallel_speedup"] = round(serial_s / wall_s, 2)
+    return record
+
+
 def run_bench_suite(quick: bool) -> int:
     """Execute the pytest benchmark files (assertion mode, timings off)."""
     # bench_*.py does not match pytest's default python_files pattern, so
     # the files must be selected explicitly.
     selection = (
         ["bench_table1_settlement.py::test_table1_block_sweep",
+         "bench_table1_settlement.py::test_table1_monte_carlo_grid",
          "bench_fig1_example_fork.py",
          "bench_fig2_fig3_balanced.py"]
         if quick
@@ -144,6 +202,9 @@ def run_bench_suite(quick: bool) -> int:
         if env.get("PYTHONPATH")
         else src
     )
+    # Opt the sweep-driven benches into the shared result cache: a rerun
+    # of the suite re-asserts every claim without re-estimating points.
+    env.setdefault(CACHE_DIR_ENV, str(SWEEP_CACHE_DIR))
     return subprocess.call(command, cwd=REPO_ROOT / "benchmarks", env=env)
 
 
@@ -155,9 +216,16 @@ def main() -> int:
         action="store_true",
         help="skip the pytest suite, only write the perf record",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for the orchestrated sweep record",
+    )
     args = parser.parse_args()
 
     record = perf_record(args.quick)
+    record["sweep"] = sweep_record(args.quick, args.workers)
     out = REPO_ROOT / "BENCH_engine.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
     for entry in record["results"]:
@@ -166,6 +234,19 @@ def main() -> int:
             f"batched {entry['batched_seconds']}s -> "
             f"{entry['speedup']}x (identical estimates)"
         )
+    sweep = record["sweep"]
+    if "parallel_speedup" in sweep:
+        detail = f", parallel speedup {sweep['parallel_speedup']}x"
+    elif "note" in sweep:
+        detail = f" -- {sweep['note']}"
+    else:
+        detail = ""
+    print(
+        f"sweep '{sweep['grid']}': {sweep['points']} points in "
+        f"{sweep['wall_seconds']}s (workers={sweep['workers']}, "
+        f"{sweep['cache_hits']} cached, {sweep['cache_misses']} estimated"
+        f"{detail})"
+    )
     print(f"perf record written to {out}")
 
     # Quick mode times 10x fewer trials, so its measurements are noisier;

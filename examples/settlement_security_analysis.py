@@ -24,7 +24,7 @@ from repro.analysis.bounds import (
     theorem2_settlement_bound,
 )
 from repro.analysis.exact import compute_settlement_probabilities
-from repro.engine import ExperimentRunner, adversarial_stake_sweep
+from repro.engine import cache_from_env, get_grid, run_grid
 
 
 def required_depth(alpha: float, unique_fraction: float, target: float) -> int:
@@ -90,17 +90,20 @@ def concurrent_leader_erosion() -> None:
 
 
 def stake_sweep_monte_carlo() -> None:
-    print("=== Empirical confirmation: the stake-sweep scenario family ===")
-    print("  (batched Monte Carlo at k = 20, where 100k trials resolve it)")
-    depth = 20
-    for scenario in adversarial_stake_sweep((0.10, 0.20, 0.30), depth=depth):
-        estimate = ExperimentRunner(scenario).run(100_000, seed=11)
+    print("=== Empirical confirmation: the 'stake' sweep grid ===")
+    print("  (batched Monte Carlo at k = 20, where 100k trials resolve it;")
+    print("   set $REPRO_SWEEP_CACHE to make reruns instant)")
+    grid = get_grid("stake")
+    depth = dict(grid.overrides)["depth"]
+    for row in run_grid(grid, cache=cache_from_env()):
         exact = settlement_violation_probability(
-            scenario.probabilities, depth
+            from_adversarial_stake(row["alpha"]), depth
         )
+        agrees = abs(row["value"] - exact) <= 4 * row["standard_error"] + 1e-12
+        cached = "  [cached]" if row["cached"] else ""
         print(
-            f"  {scenario.name:32s} MC {estimate.value:.5f}"
-            f"   exact {exact:.5f}   agrees: {estimate.within(exact)}"
+            f"  alpha = {row['alpha']:.2f}   MC {row['value']:.5f}"
+            f"   exact {exact:.5f}   agrees: {agrees}{cached}"
         )
     print()
 

@@ -47,8 +47,10 @@ from repro.analysis.bounds import (
     theorem8_cp_bound,
 )
 from repro.delta.reduction import reduce_string
+from repro.engine.cache import ResultCache
 from repro.engine.runner import Estimate, ExperimentRunner, run_scenario
 from repro.engine.scenarios import Scenario, get_scenario, scenario_names
+from repro.engine.sweeps import SweepGrid, get_grid, grid_names, run_grid
 from repro.protocol.leader import StakeDistribution
 from repro.protocol.simulation import Simulation
 
@@ -60,8 +62,10 @@ __all__ = [
     "Estimate",
     "ExperimentRunner",
     "Fork",
+    "ResultCache",
     "Scenario",
     "Simulation",
+    "SweepGrid",
     "SlotProbabilities",
     "StakeDistribution",
     "Tine",
@@ -71,7 +75,9 @@ __all__ = [
     "build_canonical_fork",
     "catalan_slots",
     "from_adversarial_stake",
+    "get_grid",
     "get_scenario",
+    "grid_names",
     "has_uvp",
     "is_catalan",
     "is_k_settled",
@@ -79,6 +85,7 @@ __all__ = [
     "reduce_string",
     "relative_margin",
     "rho",
+    "run_grid",
     "run_scenario",
     "scenario_names",
     "semi_synchronous_condition",

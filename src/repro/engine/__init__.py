@@ -1,6 +1,6 @@
 """Batched kernel engine: vectorized recurrences behind a scenario API.
 
-Three layers (bottom to top):
+Four layers (bottom to top):
 
 * :mod:`repro.engine.kernels` — batched NumPy implementations of the
   Theorem 5 recurrences on ``(trials, T)`` uint8 symbol matrices:
@@ -12,8 +12,18 @@ Three layers (bottom to top):
   plus a registry of declarative Monte-Carlo workloads (i.i.d.,
   Δ-synchronous–reduced, martingale-damped, adversarial-stake sweeps).
 * :mod:`repro.engine.runner` — :class:`ExperimentRunner`: chunked
-  batching of a scenario against an estimator with a seeded
-  ``numpy.random.Generator`` and :class:`Estimate` aggregation.
+  batching of a scenario against an estimator, each chunk seeded by its
+  own spawned ``SeedSequence`` child, with :class:`Estimate`
+  aggregation.
+* :mod:`repro.engine.sweeps` (with :mod:`repro.engine.parallel` and
+  :mod:`repro.engine.cache`) — the orchestration layer:
+  :class:`SweepGrid` expands parameter grids into scenario points,
+  :class:`ProcessBackend` fans chunks across cores with identical
+  results, and :class:`ResultCache` content-addresses every computed
+  point on disk so nothing is estimated twice.
+
+See ``docs/ARCHITECTURE.md`` for the full map and the reproducibility
+contract.
 """
 
 from repro.engine import kernels
@@ -28,27 +38,55 @@ from repro.engine.scenarios import (
 from repro.engine.runner import (
     Estimate,
     ExperimentRunner,
+    NoConsecutiveCatalanInWindow,
+    NoUniqueCatalanInWindow,
+    chunk_sizes,
     delta_settlement_violation,
     estimate_from_hits,
     no_consecutive_catalan_in_window,
     no_unique_catalan_in_window,
+    run_chunk,
     run_scenario,
     settlement_violation,
+)
+from repro.engine.cache import ResultCache, cache_from_env
+from repro.engine.parallel import ProcessBackend, default_workers
+from repro.engine.sweeps import (
+    SweepGrid,
+    SweepPoint,
+    get_grid,
+    grid_names,
+    register_grid,
+    run_grid,
 )
 
 __all__ = [
     "Batch",
     "Estimate",
     "ExperimentRunner",
+    "NoConsecutiveCatalanInWindow",
+    "NoUniqueCatalanInWindow",
+    "ProcessBackend",
+    "ResultCache",
     "Scenario",
+    "SweepGrid",
+    "SweepPoint",
     "adversarial_stake_sweep",
+    "cache_from_env",
+    "chunk_sizes",
+    "default_workers",
     "delta_settlement_violation",
     "estimate_from_hits",
+    "get_grid",
     "get_scenario",
+    "grid_names",
     "kernels",
     "no_consecutive_catalan_in_window",
     "no_unique_catalan_in_window",
     "register",
+    "register_grid",
+    "run_chunk",
+    "run_grid",
     "run_scenario",
     "scenario_names",
     "settlement_violation",

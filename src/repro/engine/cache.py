@@ -1,0 +1,226 @@
+"""Content-addressed on-disk cache for Monte-Carlo estimates.
+
+Every point a sweep (or a benchmark, or an example) estimates is fully
+determined by five values: the frozen :class:`~repro.engine.scenarios.
+Scenario`, the estimator, the integer seed, the trial count, and the
+chunk size (which fixes the spawned seed tree — see the
+:mod:`repro.engine.runner` reproducibility contract).  This module turns
+that 5-tuple into a canonical JSON *key*, addresses it by its SHA-256
+digest, and stores the resulting :class:`~repro.engine.runner.Estimate`
+as one small JSON file per point.
+
+Invalidation rule: **any key component changes ⇒ miss.**  There is no
+TTL, no versioning, no partial matching — a cache entry is exactly the
+bit-reproducible output of one run configuration, so it can only ever be
+reused for that same configuration.  Deleting the cache directory is
+always safe (everything regenerates).
+
+Estimators are identified by a *token*: module-level functions by their
+qualified name, frozen-dataclass estimators (the window estimators) by
+their qualified class name plus field values.  Lambdas and closures have
+no stable identity and are rejected — give the estimator a name (a
+``def`` or a frozen dataclass) to make it cacheable.
+
+Layout: ``<directory>/<sha256-prefix>.json``, each file carrying both
+the human-readable key and the estimate, so a cache directory doubles as
+a tidy record of every point ever computed::
+
+    {"key": {"scenario": {...}, "estimator": "...", "seed": 7,
+             "trials": 100000, "chunk_size": 4096},
+     "estimate": {"value": 0.0123, "standard_error": 0.00035,
+                  "trials": 100000}}
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.engine.runner import Estimate, Estimator
+from repro.engine.scenarios import Scenario
+
+__all__ = [
+    "ResultCache",
+    "cache_from_env",
+    "estimator_token",
+    "scenario_fingerprint",
+    "CACHE_DIR_ENV",
+]
+
+#: Environment variable naming a cache directory; ``cache_from_env``
+#: (used by the benchmarks) returns a cache there when it is set.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
+
+
+def scenario_fingerprint(scenario: Scenario) -> dict:
+    """A JSON-ready dict of every field that defines the scenario.
+
+    ``dataclasses.asdict`` recurses into the nested
+    ``SlotProbabilities``, so the fingerprint covers the full slot
+    distribution; floats round-trip at full precision through JSON.
+    """
+    return dataclasses.asdict(scenario)
+
+
+def estimator_token(estimator: Estimator) -> str:
+    """A stable string identity for a cacheable estimator.
+
+    Raises ``ValueError`` for lambdas, closures, and other anonymous
+    callables — they have no identity that survives a process restart,
+    so caching them would silently conflate different estimators.
+    """
+    if dataclasses.is_dataclass(estimator) and not isinstance(
+        estimator, type
+    ):
+        fields = dataclasses.asdict(estimator)
+        rendered = ",".join(f"{k}={fields[k]!r}" for k in sorted(fields))
+        cls = type(estimator)
+        return f"{cls.__module__}.{cls.__qualname__}({rendered})"
+    qualname = getattr(estimator, "__qualname__", None)
+    module = getattr(estimator, "__module__", None)
+    if (
+        qualname is None
+        or module is None
+        or "<lambda>" in qualname
+        or "<locals>" in qualname
+        or getattr(estimator, "__closure__", None)
+    ):
+        raise ValueError(
+            f"estimator {estimator!r} has no stable identity for caching; "
+            "use a module-level function or a frozen-dataclass estimator"
+        )
+    return f"{module}.{qualname}"
+
+
+class ResultCache:
+    """A directory of content-addressed estimate files.
+
+    The cache counts its traffic (``hits``, ``misses``, ``stores``) so
+    orchestrators can report *zero re-estimation* on warm reruns.
+    Corrupt or truncated entries are treated as misses and overwritten on
+    the next store — the cache is disposable by design.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ----------------------------------------------------------
+
+    def key(
+        self,
+        scenario: Scenario,
+        estimator: Estimator,
+        seed: int,
+        trials: int,
+        chunk_size: int,
+    ) -> dict:
+        """The canonical (JSON-ready) key of one run configuration."""
+        return {
+            "scenario": scenario_fingerprint(scenario),
+            "estimator": estimator_token(estimator),
+            "seed": int(seed),
+            "trials": int(trials),
+            "chunk_size": int(chunk_size),
+        }
+
+    @staticmethod
+    def digest(key: dict) -> str:
+        """SHA-256 of the canonical serialization of ``key``."""
+        canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def path(self, key: dict) -> pathlib.Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.directory / f"{self.digest(key)[:32]}.json"
+
+    # -- traffic -------------------------------------------------------
+
+    def contains(self, key: dict) -> bool:
+        """Is there a (well-formed) entry for ``key``?  Does not count
+        toward hit/miss statistics."""
+        return self._load(self.path(key)) is not None
+
+    def get(self, key: dict) -> Estimate | None:
+        """Look ``key`` up; ``None`` (and a counted miss) when absent."""
+        entry = self._load(self.path(key))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        stored = entry["estimate"]
+        return Estimate(
+            value=stored["value"],
+            standard_error=stored["standard_error"],
+            trials=stored["trials"],
+        )
+
+    def put(self, key: dict, estimate: Estimate) -> pathlib.Path:
+        """Store ``estimate`` under ``key``; returns the entry path.
+
+        The write goes through a uniquely-named same-directory temporary
+        file and an atomic rename, so a crashed run can leave at worst
+        an orphan temporary, never a truncated entry — and concurrent
+        processes storing the same key (the runs are bit-identical, so
+        either entry is correct) cannot trip over each other's
+        temporaries.
+        """
+        path = self.path(key)
+        payload = {
+            "key": key,
+            "estimate": {
+                "value": estimate.value,
+                "standard_error": estimate.standard_error,
+                "trials": estimate.trials,
+            },
+        }
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(json.dumps(payload, indent=2) + "\n")
+            os.replace(temp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temp_name)
+            raise
+        self.stores += 1
+        return path
+
+    @staticmethod
+    def _load(path: pathlib.Path) -> dict | None:
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        estimate = entry.get("estimate") if isinstance(entry, dict) else None
+        if not isinstance(estimate, dict) or not {
+            "value",
+            "standard_error",
+            "trials",
+        } <= estimate.keys():
+            return None
+        return entry
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def cache_from_env(default: str | os.PathLike | None = None) -> ResultCache | None:
+    """A :class:`ResultCache` at ``$REPRO_SWEEP_CACHE`` (or ``default``).
+
+    Returns ``None`` when neither is set — callers can sprinkle this at
+    entry points and get caching exactly when the orchestrator (for
+    example ``benchmarks/run_all.py``) opted the process in.
+    """
+    directory = os.environ.get(CACHE_DIR_ENV) or default
+    return ResultCache(directory) if directory else None

@@ -1,0 +1,168 @@
+"""Process-pool execution backend for the experiment runner.
+
+The engine's unit of parallelism is the *chunk* (see
+:func:`repro.engine.runner.run_chunk`): a fixed-size slice of the trial
+stream with its own spawned ``SeedSequence`` child.  Because a chunk's
+result depends only on ``(scenario, estimator, size, child)`` — never on
+which process evaluates it or in which order — fanning chunks across a
+process pool is *embarrassingly* deterministic: per-chunk hit counts are
+bit-identical to a serial run, and the aggregated estimate is therefore
+the same for every worker count.  That invariant is what
+``tests/engine/test_parallel.py`` pins down.
+
+Why processes and not threads: the chunk kernels are NumPy-bound but
+interleave enough Python-level control flow (sampling phases, reduction
+bookkeeping) that the GIL caps thread scaling well below core count;
+processes sidestep it entirely.  Everything shipped to a worker —
+frozen ``Scenario`` dataclasses, module-level estimator functions, the
+frozen window-estimator classes, ``SeedSequence`` objects — pickles
+cleanly by construction.
+
+Typical use is through the higher layers (``ExperimentRunner(...,
+workers=8)`` or ``repro.engine.sweeps.run_grid(..., workers=8)``), but
+the backend can be driven directly and shared across many runs::
+
+    with ProcessBackend(workers=8) as pool:
+        for scenario in scenarios:
+            runner = ExperimentRunner(scenario)
+            runner.run(100_000, seed=7, backend=pool)
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+
+import numpy as np
+
+from repro.engine.runner import Estimator, run_chunk
+from repro.engine.scenarios import Scenario
+
+__all__ = ["ProcessBackend", "SerialBackend", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine: the CPU count.
+
+    ``os.process_cpu_count`` (affinity-aware, Python ≥ 3.13) when
+    available, else ``os.cpu_count()``, floored at 1.
+    """
+    counter = getattr(os, "process_cpu_count", os.cpu_count)
+    return max(counter() or 1, 1)
+
+
+class _ImmediateFuture:
+    """A pre-resolved stand-in for ``concurrent.futures.Future``."""
+
+    def __init__(self, value: int) -> None:
+        self._value = value
+
+    def result(self) -> int:
+        return self._value
+
+
+class SerialBackend:
+    """In-process backend: evaluates chunks eagerly, no pool.
+
+    Exists so the runner and the sweep orchestrator drive *one*
+    submit/gather code path for every worker count — the serial case is
+    just the backend whose futures are already resolved.  Per-chunk
+    results are identical to :class:`ProcessBackend` by the seed-tree
+    contract.
+    """
+
+    def submit_chunks(
+        self,
+        scenario: Scenario,
+        estimator: Estimator,
+        sizes: list[int],
+        children: list[np.random.SeedSequence],
+    ) -> list[_ImmediateFuture]:
+        """Evaluate every chunk now; resolved futures in chunk order."""
+        if len(sizes) != len(children):
+            raise ValueError("one SeedSequence child per chunk required")
+        return [
+            _ImmediateFuture(run_chunk(scenario, estimator, size, child))
+            for size, child in zip(sizes, children)
+        ]
+
+
+class ProcessBackend:
+    """A reusable pool of worker processes evaluating chunks.
+
+    The pool is started lazily on first use and torn down by
+    :meth:`close` (or the context-manager exit).  One backend can serve
+    many runs — the sweep orchestrator opens a single backend for a
+    whole grid and keeps chunks from *all* points in flight at once, so
+    workers never idle at point boundaries and any per-process startup
+    cost is paid once.  (The pool uses the platform's default start
+    method: ``fork`` on typical Linux/CPython — workers inherit the
+    parent cheaply — and ``spawn`` on macOS/Windows, where workers
+    re-import the interpreter and NumPy; everything shipped to a worker
+    pickles under either.)
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def submit_chunks(
+        self,
+        scenario: Scenario,
+        estimator: Estimator,
+        sizes: list[int],
+        children: list[np.random.SeedSequence],
+    ) -> list[Future]:
+        """Submit every chunk to the pool; futures in chunk order.
+
+        Non-blocking: callers may submit the chunks of many runs before
+        collecting any result, which is how the sweep orchestrator keeps
+        all workers busy across point boundaries.
+        """
+        if len(sizes) != len(children):
+            raise ValueError("one SeedSequence child per chunk required")
+        pool = self._pool()
+        return [
+            pool.submit(run_chunk, scenario, estimator, size, child)
+            for size, child in zip(sizes, children)
+        ]
+
+    def map_hits(
+        self,
+        scenario: Scenario,
+        estimator: Estimator,
+        sizes: list[int],
+        children: list[np.random.SeedSequence],
+    ) -> list[int]:
+        """Evaluate every chunk on the pool; hit counts in chunk order.
+
+        Blocking form of :meth:`submit_chunks` — the returned list is
+        positionally aligned with ``sizes`` and ``children`` regardless
+        of completion order.  An estimator exception in any worker
+        propagates to the caller.
+        """
+        return [
+            future.result()
+            for future in self.submit_chunks(
+                scenario, estimator, sizes, children
+            )
+        ]
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

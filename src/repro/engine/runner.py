@@ -4,30 +4,43 @@ The runner is the engine's third layer: it takes a declarative
 :class:`repro.engine.scenarios.Scenario`, an *estimator* (a callable
 mapping one sampled :class:`~repro.engine.scenarios.Batch` to a boolean
 hit vector), and executes the requested number of trials in fixed-size
-chunks against a single seeded ``numpy.random.Generator``.
+chunks.
 
 Reproducibility contract
 ------------------------
 
-For a fixed ``(seed, chunk_size)`` pair the run is bit-reproducible: the
-generator is created from the seed and consumed strictly sequentially,
-one chunk at a time, with the randomness phases documented on
-``Scenario.sample_batch``.  (Changing ``chunk_size`` re-partitions the
-uniform stream between phases and may therefore change individual
-samples — the estimate remains statistically identical, but not
-bit-identical.)
+For an integer ``seed`` the run is bit-reproducible and **independent of
+the execution backend**: the trial count is partitioned into chunks of
+``chunk_size`` (last chunk ragged), a ``numpy.random.SeedSequence(seed)``
+is spawned into one child per chunk, and chunk ``i`` is always sampled
+from ``default_rng(child_i)`` — whether the chunks run in-process or are
+fanned out across a :class:`repro.engine.parallel.ProcessBackend` with
+any number of workers.  Per-chunk hit counts are therefore bit-identical
+between serial and parallel runs, and so are the aggregated
+:class:`Estimate` values.  (Changing ``chunk_size`` re-partitions the
+trial stream and changes individual samples — the estimate remains
+statistically identical, but not bit-identical.)
+
+Passing an existing ``numpy.random.Generator`` instead of an integer
+selects the legacy *streaming* path: the generator is consumed strictly
+sequentially, one chunk at a time, which lets callers continue an
+existing stream but is serial-only and never cached.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.engine import kernels
 from repro.engine.scenarios import Batch, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.cache import ResultCache
+    from repro.engine.parallel import ProcessBackend, SerialBackend
 
 #: An estimator maps (scenario, batch) to a boolean hit vector.
 Estimator = Callable[[Scenario, Batch], np.ndarray]
@@ -48,9 +61,32 @@ class Estimate:
 
 
 def estimate_from_hits(hits: int, trials: int) -> Estimate:
-    """Wrap a Bernoulli hit count in an :class:`Estimate`."""
+    """Wrap a Bernoulli hit count in an :class:`Estimate`.
+
+    ``trials`` must be positive — merging an *empty* partial result (for
+    example a cache shard that contributed no trials) is a caller bug and
+    raises instead of fabricating a 0/0 estimate.
+
+    At the boundary ``hits ∈ {0, trials}`` the plug-in standard error
+    ``sqrt(p(1−p)/n)`` collapses to zero, which would make
+    :meth:`Estimate.within` accept only targets within ``1e-12`` — a
+    false *positive* for "the estimate resolves the target" whenever the
+    true probability is merely below the sampling resolution.  We instead
+    report the Laplace-smoothed error ``sqrt(p̃(1−p̃)/n)`` with
+    ``p̃ = (hits+1)/(trials+2)`` (≈ ``1/n`` at the boundary, the same
+    scale as the rule-of-three bound), so boundary estimates advertise
+    their genuine ``O(1/n)`` uncertainty.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= hits <= trials:
+        raise ValueError(f"hits = {hits} outside [0, {trials}]")
     rate = hits / trials
-    se = math.sqrt(max(rate * (1.0 - rate), 1e-12) / trials)
+    if hits == 0 or hits == trials:
+        smoothed = (hits + 1.0) / (trials + 2.0)
+        se = math.sqrt(smoothed * (1.0 - smoothed) / trials)
+    else:
+        se = math.sqrt(rate * (1.0 - rate) / trials)
     return Estimate(rate, se, trials)
 
 
@@ -92,40 +128,152 @@ def delta_settlement_violation(scenario: Scenario, batch: Batch) -> np.ndarray:
     return violated & (starts >= 0)
 
 
+def _validate_window(window_start: int, window_length: int) -> None:
+    """Slots are 1-indexed: a start below 1 would silently slice an
+    empty (or wrapped) window and report probability 1."""
+    if window_start < 1:
+        raise ValueError(f"window_start must be >= 1, got {window_start}")
+    if window_length < 1:
+        raise ValueError(f"window_length must be >= 1, got {window_length}")
+
+
+@dataclass(frozen=True)
+class NoUniqueCatalanInWindow:
+    """Estimator: no uniquely honest Catalan slot in the window.
+
+    The event of Bound 1, evaluated on the whole sampled string (boundary
+    effects included, as in the scalar estimator).  A frozen dataclass
+    rather than a closure so instances pickle across process-pool workers
+    and fingerprint deterministically for the result cache.
+    """
+
+    window_start: int
+    window_length: int
+
+    def __post_init__(self) -> None:
+        _validate_window(self.window_start, self.window_length)
+
+    def __call__(self, scenario: Scenario, batch: Batch) -> np.ndarray:
+        mask = kernels.uniquely_honest_catalan_mask(batch.symbols)
+        start = self.window_start
+        window = mask[:, start - 1 : start - 1 + self.window_length]
+        return ~window.any(axis=1)
+
+
+@dataclass(frozen=True)
+class NoConsecutiveCatalanInWindow:
+    """Estimator: no two consecutive Catalan slots starting in the window
+    (the event of Bound 2).  Picklable and cache-fingerprintable like
+    :class:`NoUniqueCatalanInWindow`."""
+
+    window_start: int
+    window_length: int
+
+    def __post_init__(self) -> None:
+        _validate_window(self.window_start, self.window_length)
+
+    def __call__(self, scenario: Scenario, batch: Batch) -> np.ndarray:
+        pairs = kernels.consecutive_catalan_mask(batch.symbols)
+        start = self.window_start
+        window = pairs[:, start - 1 : start - 1 + self.window_length]
+        return ~window.any(axis=1)
+
+
 def no_unique_catalan_in_window(
     window_start: int, window_length: int
 ) -> Estimator:
-    """Estimator factory: no uniquely honest Catalan slot in the window.
-
-    The event of Bound 1, evaluated on the whole sampled string (boundary
-    effects included, as in the scalar estimator).
-    """
-
-    def estimator(scenario: Scenario, batch: Batch) -> np.ndarray:
-        mask = kernels.uniquely_honest_catalan_mask(batch.symbols)
-        window = mask[:, window_start - 1 : window_start - 1 + window_length]
-        return ~window.any(axis=1)
-
-    return estimator
+    """Estimator factory kept for API compatibility; returns the picklable
+    :class:`NoUniqueCatalanInWindow` instance."""
+    return NoUniqueCatalanInWindow(window_start, window_length)
 
 
 def no_consecutive_catalan_in_window(
     window_start: int, window_length: int
 ) -> Estimator:
-    """Estimator factory: no two consecutive Catalan slots starting in
-    the window (the event of Bound 2)."""
+    """Estimator factory kept for API compatibility; returns the picklable
+    :class:`NoConsecutiveCatalanInWindow` instance."""
+    return NoConsecutiveCatalanInWindow(window_start, window_length)
 
-    def estimator(scenario: Scenario, batch: Batch) -> np.ndarray:
-        pairs = kernels.consecutive_catalan_mask(batch.symbols)
-        window = pairs[:, window_start - 1 : window_start - 1 + window_length]
-        return ~window.any(axis=1)
 
-    return estimator
+# ----------------------------------------------------------------------
+# Chunk execution primitives (shared by the serial and process backends)
+# ----------------------------------------------------------------------
+
+
+def chunk_sizes(trials: int, chunk_size: int) -> list[int]:
+    """The deterministic chunk partition of a run.
+
+    ``trials // chunk_size`` full chunks followed by one ragged
+    remainder — the partition (and hence the spawned seed tree) is a pure
+    function of ``(trials, chunk_size)``.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    full, remainder = divmod(trials, chunk_size)
+    return [chunk_size] * full + ([remainder] if remainder else [])
+
+
+def run_chunk(
+    scenario: Scenario,
+    estimator: Estimator,
+    size: int,
+    seed_sequence: np.random.SeedSequence,
+) -> int:
+    """Sample and evaluate one chunk; returns its hit count.
+
+    Top-level (picklable) on purpose: this is the unit of work shipped to
+    :class:`repro.engine.parallel.ProcessBackend` workers.  Each chunk
+    owns a fresh generator built from its spawned ``SeedSequence`` child,
+    so the result is independent of where and in which order the chunk
+    executes.
+    """
+    generator = np.random.default_rng(seed_sequence)
+    batch = scenario.sample_batch(size, generator)
+    hits = np.asarray(estimator(scenario, batch))
+    if hits.shape != (size,):
+        raise ValueError(
+            "estimator must return one boolean per trial, got shape "
+            f"{hits.shape} for chunk of {size}"
+        )
+    return int(hits.sum())
 
 
 # ----------------------------------------------------------------------
 # The runner
 # ----------------------------------------------------------------------
+
+
+@dataclass
+class PendingEstimate:
+    """A dispatched run: resolves to an :class:`Estimate` on demand.
+
+    Produced by :meth:`ExperimentRunner.submit`.  ``from_cache`` marks a
+    run served entirely from the cache (no chunks were submitted);
+    otherwise :meth:`result` blocks on the chunk futures, aggregates,
+    and stores the estimate under ``key`` when the runner has a cache.
+    """
+
+    runner: "ExperimentRunner"
+    trials: int
+    key: dict | None
+    futures: list
+    #: True when the run was served from the cache (no estimation at all).
+    from_cache: bool = False
+    _resolved: Estimate | None = None
+
+    def result(self) -> Estimate:
+        """Block until every chunk is done; the aggregated estimate."""
+        if self._resolved is not None:
+            return self._resolved
+        hits = sum(future.result() for future in self.futures)
+        estimate = estimate_from_hits(hits, self.trials)
+        if self.key is not None:
+            self.runner.cache.put(self.key, estimate)
+        self._resolved = estimate
+        self.futures = []
+        return estimate
 
 
 class ExperimentRunner:
@@ -135,6 +283,18 @@ class ExperimentRunner:
     ``(chunk, horizon)`` symbol matrix plus the estimator's temporaries);
     the default keeps chunks comfortably inside cache for typical
     horizons while amortising NumPy dispatch.
+
+    ``workers`` selects the execution backend: ``1`` (default) runs the
+    chunks in-process; ``> 1`` fans them out across a
+    :class:`repro.engine.parallel.ProcessBackend` with that many
+    processes.  Because every chunk is seeded from its own spawned
+    ``SeedSequence`` child, the returned :class:`Estimate` is identical
+    for every worker count (see the module docstring).
+
+    ``cache`` is an optional :class:`repro.engine.cache.ResultCache`;
+    when set, integer-seeded runs are looked up by their
+    ``(scenario, estimator, seed, trials, chunk_size)`` key before any
+    sampling happens and stored after.
     """
 
     def __init__(
@@ -142,12 +302,18 @@ class ExperimentRunner:
         scenario: Scenario,
         estimator: Estimator | None = None,
         chunk_size: int = 4096,
+        workers: int = 1,
+        cache: "ResultCache | None" = None,
     ) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self.scenario = scenario
         self.estimator = estimator or self._default_estimator(scenario)
         self.chunk_size = chunk_size
+        self.workers = workers
+        self.cache = cache
 
     @staticmethod
     def _default_estimator(scenario: Scenario) -> Estimator:
@@ -157,19 +323,79 @@ class ExperimentRunner:
             else settlement_violation
         )
 
-    def run(self, trials: int, seed: int | np.random.Generator) -> Estimate:
+    def run(
+        self,
+        trials: int,
+        seed: int | np.random.Generator,
+        backend: "ProcessBackend | None" = None,
+    ) -> Estimate:
         """Run ``trials`` trials and aggregate into an :class:`Estimate`.
 
-        ``seed`` is an integer (preferred: the run is then self-contained
-        and bit-reproducible) or an existing generator to continue.
+        ``seed`` is an integer (preferred: the run is then self-contained,
+        cacheable, and bit-reproducible across backends) or an existing
+        generator to continue a stream (serial-only, never cached).
+
+        ``backend`` optionally supplies an already-running
+        :class:`~repro.engine.parallel.ProcessBackend` to reuse across
+        many runs (as the sweep orchestrator does); otherwise
+        ``workers > 1`` starts an ephemeral pool for this run only.
         """
         if trials < 1:
             raise ValueError("trials must be positive")
-        generator = (
-            seed
-            if isinstance(seed, np.random.Generator)
-            else np.random.default_rng(seed)
+        if isinstance(seed, np.random.Generator):
+            if backend is not None or self.workers > 1:
+                raise ValueError(
+                    "generator continuation is serial-only; pass an "
+                    "integer seed to use the process backend"
+                )
+            return self._run_streaming(trials, seed)
+
+        if backend is not None:
+            return self.submit(trials, seed, backend).result()
+        if self.workers > 1:
+            from repro.engine.parallel import ProcessBackend
+
+            with ProcessBackend(self.workers) as pool:
+                return self.submit(trials, seed, pool).result()
+        from repro.engine.parallel import SerialBackend
+
+        return self.submit(trials, seed, SerialBackend()).result()
+
+    def submit(
+        self, trials: int, seed: int, backend: "ProcessBackend | SerialBackend"
+    ) -> "PendingEstimate":
+        """Dispatch a run to ``backend`` without waiting for it.
+
+        Cache lookups still happen immediately (a hit returns an
+        already-resolved pending); on a miss every chunk is submitted to
+        the pool and the returned :class:`PendingEstimate` aggregates —
+        and stores to the cache — when :meth:`~PendingEstimate.result`
+        is called.  Submitting many runs before collecting any result is
+        what keeps pool workers busy across sweep-point boundaries.
+        """
+        if trials < 1:
+            raise ValueError("trials must be positive")
+        key = None
+        if self.cache is not None:
+            key = self.cache.key(
+                self.scenario, self.estimator, seed, trials, self.chunk_size
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                return PendingEstimate(
+                    self, trials, None, [], from_cache=True, _resolved=cached
+                )
+        sizes = chunk_sizes(trials, self.chunk_size)
+        children = np.random.SeedSequence(seed).spawn(len(sizes))
+        futures = backend.submit_chunks(
+            self.scenario, self.estimator, sizes, children
         )
+        return PendingEstimate(self, trials, key, futures)
+
+    def _run_streaming(
+        self, trials: int, generator: np.random.Generator
+    ) -> Estimate:
+        """Legacy sequential path: consume an existing generator in order."""
         hits = 0
         remaining = trials
         while remaining > 0:
@@ -192,14 +418,18 @@ def run_scenario(
     seed: int,
     estimator: Estimator | None = None,
     chunk_size: int = 4096,
+    workers: int = 1,
+    cache: "ResultCache | None" = None,
     **overrides,
 ) -> Estimate:
     """One-call convenience: look up, override, run.
 
     ``run_scenario("iid-settlement", 100_000, seed=7, depth=200)`` is the
-    whole Monte-Carlo pipeline for a Table 1 cell.
+    whole Monte-Carlo pipeline for a Table 1 cell; add ``workers=8`` to
+    fan the chunks across cores (same estimate, less wall-clock).
     """
     from repro.engine.scenarios import get_scenario
 
     scenario = get_scenario(name, **overrides)
-    return ExperimentRunner(scenario, estimator, chunk_size).run(trials, seed)
+    runner = ExperimentRunner(scenario, estimator, chunk_size, workers, cache)
+    return runner.run(trials, seed)

@@ -1,0 +1,161 @@
+"""Result cache: round trips are bit-equal, any key change is a miss."""
+
+import json
+
+import pytest
+
+from repro.core.distributions import bernoulli_condition
+from repro.engine import (
+    ExperimentRunner,
+    NoUniqueCatalanInWindow,
+    ResultCache,
+    delta_settlement_violation,
+    get_scenario,
+    settlement_violation,
+)
+from repro.engine.cache import cache_from_env, estimator_token
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def make_runner(cache, **overrides):
+    overrides.setdefault("depth", 15)
+    scenario = get_scenario("iid-settlement", **overrides)
+    return ExperimentRunner(scenario, chunk_size=512, cache=cache)
+
+
+class TestRoundTrip:
+    def test_cached_result_is_bit_equal(self, cache):
+        runner = make_runner(cache)
+        fresh = runner.run(4_000, seed=17)
+        assert (cache.hits, cache.misses, cache.stores) == (0, 1, 1)
+        warm = runner.run(4_000, seed=17)
+        assert warm == fresh  # dataclass equality: value, se, trials
+        assert cache.hits == 1
+
+    def test_warm_run_does_no_sampling(self, cache, monkeypatch):
+        runner = make_runner(cache)
+        fresh = runner.run(2_000, seed=1)
+
+        import repro.engine.runner as runner_module
+
+        def exploding(*args):  # pragma: no cover - must not run
+            raise AssertionError("chunk executed on a warm cache")
+
+        monkeypatch.setattr(runner_module, "run_chunk", exploding)
+        assert runner.run(2_000, seed=1) == fresh
+
+    def test_entry_survives_process_boundary(self, cache):
+        """Entries are plain JSON: a fresh ResultCache over the same
+        directory (a new process, in practice) serves the same bits."""
+        runner = make_runner(cache)
+        fresh = runner.run(3_000, seed=23)
+        reopened = ResultCache(cache.directory)
+        runner_again = ExperimentRunner(
+            runner.scenario, chunk_size=512, cache=reopened
+        )
+        assert runner_again.run(3_000, seed=23) == fresh
+        assert reopened.hits == 1 and reopened.stores == 0
+
+
+class TestInvalidation:
+    """Any key component changes ⇒ miss."""
+
+    def test_changed_seed_misses(self, cache):
+        runner = make_runner(cache)
+        runner.run(2_000, seed=5)
+        runner.run(2_000, seed=6)
+        assert cache.stores == 2 and cache.hits == 0
+
+    def test_changed_trials_misses(self, cache):
+        runner = make_runner(cache)
+        runner.run(2_000, seed=5)
+        runner.run(2_001, seed=5)
+        assert cache.stores == 2 and cache.hits == 0
+
+    def test_changed_chunk_size_misses(self, cache):
+        make_runner(cache).run(2_000, seed=5)
+        scenario = get_scenario("iid-settlement", depth=15)
+        ExperimentRunner(scenario, chunk_size=256, cache=cache).run(
+            2_000, seed=5
+        )
+        assert cache.stores == 2 and cache.hits == 0
+
+    def test_changed_scenario_field_misses(self, cache):
+        make_runner(cache).run(2_000, seed=5)
+        make_runner(cache, depth=16).run(2_000, seed=5)
+        assert cache.stores == 2 and cache.hits == 0
+
+    def test_changed_probabilities_miss(self, cache):
+        make_runner(cache).run(2_000, seed=5)
+        make_runner(
+            cache, probabilities=bernoulli_condition(0.4, 0.3)
+        ).run(2_000, seed=5)
+        assert cache.stores == 2 and cache.hits == 0
+
+    def test_changed_estimator_misses(self, cache):
+        scenario = get_scenario("iid-settlement", depth=15)
+        key_a = cache.key(scenario, settlement_violation, 1, 100, 512)
+        key_b = cache.key(scenario, delta_settlement_violation, 1, 100, 512)
+        assert cache.digest(key_a) != cache.digest(key_b)
+
+
+class TestEstimatorTokens:
+    def test_function_token_is_qualified_name(self):
+        token = estimator_token(settlement_violation)
+        assert token == "repro.engine.runner.settlement_violation"
+
+    def test_window_estimator_token_includes_parameters(self):
+        near = estimator_token(NoUniqueCatalanInWindow(10, 20))
+        far = estimator_token(NoUniqueCatalanInWindow(10, 21))
+        assert near != far
+        assert "window_length=20" in near
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ValueError, match="no stable identity"):
+            estimator_token(lambda scenario, batch: None)
+
+    def test_closure_rejected(self):
+        def factory(start):
+            def estimator(scenario, batch):
+                return start
+
+            return estimator
+
+        with pytest.raises(ValueError, match="no stable identity"):
+            estimator_token(factory(3))
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_heals(self, cache):
+        runner = make_runner(cache)
+        fresh = runner.run(2_000, seed=9)
+        key = cache.key(runner.scenario, runner.estimator, 9, 2_000, 512)
+        cache.path(key).write_text("{not json")
+        assert not cache.contains(key)
+        healed = runner.run(2_000, seed=9)
+        assert healed == fresh
+        assert json.loads(cache.path(key).read_text())["estimate"][
+            "trials"
+        ] == 2_000
+
+    def test_entry_file_is_self_describing(self, cache):
+        runner = make_runner(cache)
+        runner.run(2_000, seed=9)
+        key = cache.key(runner.scenario, runner.estimator, 9, 2_000, 512)
+        entry = json.loads(cache.path(key).read_text())
+        assert entry["key"]["seed"] == 9
+        assert entry["key"]["scenario"]["depth"] == 15
+        assert entry["key"]["estimator"].endswith("settlement_violation")
+
+    def test_cache_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        assert cache_from_env() is None
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "c"))
+        env_cache = cache_from_env()
+        assert env_cache is not None
+        assert env_cache.directory == tmp_path / "c"
+        assert cache_from_env(default=tmp_path / "d").directory == tmp_path / "c"

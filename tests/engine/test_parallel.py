@@ -1,0 +1,164 @@
+"""Determinism suite: the process backend is a pure wall-clock knob.
+
+The engine's reproducibility contract says an integer-seeded run is a
+pure function of ``(scenario, estimator, seed, trials, chunk_size)`` —
+never of the execution backend.  These tests pin that down: serial and
+process-pool runs must return *identical* ``Estimate`` objects across
+1/2/4 workers, chunk partitions must tile exactly, and the legacy
+generator-continuation path must refuse to parallelize (its stream is
+inherently sequential).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ExperimentRunner,
+    ProcessBackend,
+    chunk_sizes,
+    default_workers,
+    get_scenario,
+    run_chunk,
+    run_scenario,
+)
+
+
+class TestChunkPartition:
+    def test_exact_tiling(self):
+        assert chunk_sizes(10, 4) == [4, 4, 2]
+        assert chunk_sizes(8, 4) == [4, 4]
+        assert chunk_sizes(3, 5) == [3]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            chunk_sizes(0, 4)
+        with pytest.raises(ValueError):
+            chunk_sizes(10, 0)
+
+    def test_partition_sums_to_trials(self):
+        for trials, chunk in [(1, 1), (4096, 4096), (10_001, 4096), (7, 3)]:
+            assert sum(chunk_sizes(trials, chunk)) == trials
+
+
+class TestBackendIndependence:
+    """Serial and parallel backends: identical Estimates, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        runner = ExperimentRunner(
+            get_scenario("iid-settlement", depth=20), chunk_size=1024
+        )
+        return runner.run(10_000, seed=42)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_identical_across_worker_counts(self, serial, workers):
+        runner = ExperimentRunner(
+            get_scenario("iid-settlement", depth=20),
+            chunk_size=1024,
+            workers=workers,
+        )
+        assert runner.run(10_000, seed=42) == serial
+
+    def test_identical_on_reduced_scenario(self):
+        scenario = get_scenario(
+            "delta-synchronous", total_length=60, target_slot=10, depth=8
+        )
+        serial = ExperimentRunner(scenario, chunk_size=128).run(500, seed=9)
+        parallel = ExperimentRunner(
+            scenario, chunk_size=128, workers=2
+        ).run(500, seed=9)
+        assert serial == parallel
+
+    def test_shared_backend_reuse(self):
+        scenario = get_scenario("iid-settlement", depth=15)
+        runner = ExperimentRunner(scenario, chunk_size=512)
+        with ProcessBackend(2) as pool:
+            first = runner.run(2_000, seed=5, backend=pool)
+            second = runner.run(2_000, seed=6, backend=pool)
+        assert first == runner.run(2_000, seed=5)
+        assert second == runner.run(2_000, seed=6)
+        assert first != second
+
+    def test_pipelined_submit_matches_serial(self):
+        """run_grid-style dispatch: submit every run's chunks before
+        collecting any result — still bit-identical to serial."""
+        scenario = get_scenario("iid-settlement", depth=15)
+        runner = ExperimentRunner(scenario, chunk_size=256)
+        with ProcessBackend(2) as pool:
+            pending = [
+                runner.submit(1_000, seed, pool) for seed in (31, 32, 33)
+            ]
+            gathered = [p.result() for p in pending]
+            assert not any(p.from_cache for p in pending)
+        assert gathered == [runner.run(1_000, seed) for seed in (31, 32, 33)]
+
+    def test_run_scenario_workers_keyword(self):
+        serial = run_scenario("iid-settlement", 3_000, seed=8, depth=12)
+        parallel = run_scenario(
+            "iid-settlement", 3_000, seed=8, depth=12, workers=2
+        )
+        assert serial == parallel
+
+
+class TestSeedTree:
+    def test_chunk_reproducible_from_its_child(self):
+        """A chunk is a pure function of its spawned child seed."""
+        scenario = get_scenario("iid-settlement", depth=20)
+        estimator = ExperimentRunner(scenario).estimator
+        child = np.random.SeedSequence(7).spawn(1)[0]
+        assert run_chunk(scenario, estimator, 2048, child) == run_chunk(
+            scenario, estimator, 2048, child
+        )
+
+    def test_chunk_result_is_position_independent(self):
+        """A chunk's hit count depends on its child seed, not its order."""
+        scenario = get_scenario("iid-settlement", depth=20)
+        children = np.random.SeedSequence(21).spawn(3)
+        forward = [
+            run_chunk(scenario, ExperimentRunner(scenario).estimator, 512, c)
+            for c in children
+        ]
+        backward = [
+            run_chunk(scenario, ExperimentRunner(scenario).estimator, 512, c)
+            for c in reversed(children)
+        ]
+        assert forward == backward[::-1]
+
+
+class TestGuards:
+    def test_generator_continuation_is_serial_only(self):
+        runner = ExperimentRunner(
+            get_scenario("iid-settlement", depth=10), workers=2
+        )
+        with pytest.raises(ValueError, match="serial-only"):
+            runner.run(100, np.random.default_rng(1))
+
+    def test_estimator_shape_validated(self):
+        runner = ExperimentRunner(
+            get_scenario("iid-settlement", depth=10),
+            estimator=lambda scenario, batch: np.array([True]),
+        )
+        with pytest.raises(ValueError, match="one boolean per trial"):
+            runner.run(100, seed=3)
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExperimentRunner(
+                get_scenario("iid-settlement", depth=10), workers=0
+            )
+        with pytest.raises(ValueError, match="workers"):
+            ProcessBackend(0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_window_estimators_validate_bounds(self):
+        from repro.engine import (
+            NoConsecutiveCatalanInWindow,
+            NoUniqueCatalanInWindow,
+        )
+
+        with pytest.raises(ValueError, match="window_start"):
+            NoUniqueCatalanInWindow(0, 10)
+        with pytest.raises(ValueError, match="window_length"):
+            NoConsecutiveCatalanInWindow(1, 0)

@@ -1,0 +1,258 @@
+"""SweepGrid expansion, run_grid orchestration, the CLI, and the
+boundary-corrected ``estimate_from_hits``."""
+
+import json
+import math
+
+import pytest
+
+import repro.sweep as sweep_cli
+from repro.engine import (
+    ExperimentRunner,
+    ResultCache,
+    SweepGrid,
+    estimate_from_hits,
+    get_grid,
+    grid_names,
+    run_grid,
+)
+
+
+class TestGridExpansion:
+    def test_product_order_last_axis_fastest(self):
+        grid = SweepGrid(
+            name="t-order",
+            base="iid-settlement",
+            axes=(("alpha", (0.1, 0.2)), ("depth", (5, 10))),
+            trials=100,
+            seed=50,
+        )
+        points = grid.points()
+        assert [p.params for p in points] == [
+            {"alpha": 0.1, "depth": 5},
+            {"alpha": 0.1, "depth": 10},
+            {"alpha": 0.2, "depth": 5},
+            {"alpha": 0.2, "depth": 10},
+        ]
+        assert [p.seed for p in points] == [50, 51, 52, 53]
+        assert grid.size() == 4
+
+    def test_virtual_axes_resolve_to_probabilities(self):
+        grid = SweepGrid(
+            name="t-virtual",
+            base="iid-settlement",
+            axes=(("alpha", (0.25,)), ("unique_fraction", (0.4,))),
+            trials=100,
+            seed=0,
+        )
+        (point,) = grid.points()
+        probabilities = point.scenario.probabilities
+        assert probabilities.p_adversarial == pytest.approx(0.25)
+        assert probabilities.p_unique == pytest.approx(0.75 * 0.4)
+
+    def test_fixed_alpha_override_with_fraction_axis(self):
+        grid = SweepGrid(
+            name="t-fixed-alpha",
+            base="iid-settlement",
+            axes=(("unique_fraction", (0.5,)),),
+            trials=100,
+            seed=0,
+            overrides=(("alpha", 0.2),),
+        )
+        (point,) = grid.points()
+        assert point.scenario.probabilities.p_adversarial == pytest.approx(0.2)
+
+    def test_fraction_axis_without_alpha_rejected(self):
+        grid = SweepGrid(
+            name="t-no-alpha",
+            base="iid-settlement",
+            axes=(("unique_fraction", (0.5,)),),
+            trials=100,
+            seed=0,
+        )
+        with pytest.raises(ValueError, match="alpha"):
+            grid.points()
+
+    def test_field_axis_overrides_scenario(self):
+        grid = SweepGrid(
+            name="t-depth",
+            base="iid-settlement",
+            axes=(("depth", (7, 9)),),
+            trials=100,
+            seed=0,
+        )
+        assert [p.scenario.depth for p in grid.points()] == [7, 9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            SweepGrid(name="t", base="iid-settlement", axes=(), trials=1, seed=0)
+        with pytest.raises(ValueError, match="duplicate axis"):
+            SweepGrid(
+                name="t",
+                base="iid-settlement",
+                axes=(("depth", (1,)), ("depth", (2,))),
+                trials=1,
+                seed=0,
+            )
+        with pytest.raises(ValueError, match="no values"):
+            SweepGrid(
+                name="t",
+                base="iid-settlement",
+                axes=(("depth", ()),),
+                trials=1,
+                seed=0,
+            )
+        with pytest.raises(ValueError, match="unknown estimator"):
+            SweepGrid(
+                name="t",
+                base="iid-settlement",
+                axes=(("depth", (5,)),),
+                trials=1,
+                seed=0,
+                estimator="nope",
+            )
+
+
+class TestRunGrid:
+    GRID = SweepGrid(
+        name="t-run",
+        base="iid-settlement",
+        axes=(("depth", (8, 12)),),
+        trials=2_000,
+        seed=30,
+        chunk_size=512,
+    )
+
+    def test_rows_match_direct_runner_calls(self):
+        rows = run_grid(self.GRID)
+        for row, point in zip(rows, self.GRID.points()):
+            direct = ExperimentRunner(
+                point.scenario, chunk_size=512
+            ).run(2_000, point.seed)
+            assert row["value"] == direct.value
+            assert row["standard_error"] == direct.standard_error
+            assert row["trials"] == 2_000
+            assert row["cached"] is False
+
+    def test_parallel_grid_identical_to_serial(self):
+        assert run_grid(self.GRID) == run_grid(self.GRID, workers=2)
+
+    def test_cache_round_trip_marks_rows(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_grid(self.GRID, cache=cache)
+        warm = run_grid(self.GRID, cache=cache)
+        assert all(not row["cached"] for row in cold)
+        assert all(row["cached"] for row in warm)
+        for cold_row, warm_row in zip(cold, warm):
+            assert cold_row["value"] == warm_row["value"]
+            assert cold_row["standard_error"] == warm_row["standard_error"]
+        assert cache.stores == len(cold)
+
+    def test_trials_override_rekeys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid(self.GRID, cache=cache)
+        rerun = run_grid(self.GRID, trials=2_001, cache=cache)
+        assert all(not row["cached"] for row in rerun)
+
+
+class TestBuiltinGrids:
+    def test_registry_contents(self):
+        assert {"table1", "stake", "delta", "bounds-vs-exact"} <= set(
+            grid_names()
+        )
+
+    def test_builtin_grids_expand(self):
+        for name in grid_names():
+            grid = get_grid(name)
+            points = grid.points()
+            assert len(points) == grid.size()
+
+    def test_unknown_grid(self):
+        with pytest.raises(KeyError, match="unknown grid"):
+            get_grid("no-such-grid")
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert sweep_cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "delta" in out
+
+    def test_run_writes_table_and_json(self, capsys, tmp_path):
+        out_path = tmp_path / "rows.json"
+        code = sweep_cli.main(
+            [
+                "stake",
+                "--trials",
+                "500",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "value" in out
+        assert "3 points" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["grid"] == "stake"
+        assert len(payload["rows"]) == 3
+
+        # Warm rerun: every point served from cache.
+        assert (
+            sweep_cli.main(
+                [
+                    "stake",
+                    "--trials",
+                    "500",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 0
+        )
+        assert "3 from cache" in capsys.readouterr().out
+
+    def test_unknown_grid_exit_code(self, capsys):
+        assert sweep_cli.main(["no-such-grid"]) == 2
+        assert "unknown grid" in capsys.readouterr().err
+
+
+class TestEstimateBoundary:
+    """The satellite fix: estimate_from_hits at p ∈ {0, 1} and n = 0."""
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials must be positive"):
+            estimate_from_hits(0, 0)
+
+    def test_hits_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            estimate_from_hits(5, 4)
+        with pytest.raises(ValueError, match="outside"):
+            estimate_from_hits(-1, 4)
+
+    @pytest.mark.parametrize("trials", [100, 10_000])
+    def test_boundary_standard_error_is_order_one_over_n(self, trials):
+        for hits in (0, trials):
+            estimate = estimate_from_hits(hits, trials)
+            smoothed = (hits + 1.0) / (trials + 2.0)
+            expected = math.sqrt(smoothed * (1.0 - smoothed) / trials)
+            assert estimate.standard_error == pytest.approx(expected)
+            assert estimate.standard_error > 1.0 / (2.0 * trials)
+
+    def test_boundary_within_no_false_positive(self):
+        """An all-miss estimate must not claim to resolve a target it
+        cannot distinguish from zero — but must also not accept targets
+        far above its resolution (the old 1e-12 floor accepted nothing;
+        a 0.0 standard error would accept only the point itself)."""
+        estimate = estimate_from_hits(0, 10_000)
+        assert estimate.within(1e-5)  # below resolution: statistically same
+        assert not estimate.within(0.01)  # resolvable difference: rejected
+
+    def test_interior_unchanged(self):
+        estimate = estimate_from_hits(250, 1_000)
+        assert estimate.value == 0.25
+        assert estimate.standard_error == pytest.approx(
+            math.sqrt(0.25 * 0.75 / 1_000)
+        )

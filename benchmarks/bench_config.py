@@ -16,9 +16,13 @@ SEEDS = {
     "cp_bivalent_windows": 31,
     "fig4_throughput": 1000,  # per-length offset added by the bench
     "fig4_canonicality": 7,
-    "protocol_attack": "bench-attack",  # protocol sims take string seeds
-    "tiebreak_ablation": "ablation",
+    # Protocol benches run through the engine's ProtocolRunner since
+    # PR 3, so they take integer seeds (the spawned seed-tree contract).
+    "protocol_attack": 2024,
+    "protocol_fork_extraction": "extract",  # direct Simulation, string seed
+    "tiebreak_ablation": 808,
     "engine_scalar_vs_batched": 2020,
+    "protocol_e10": 4242,
 }
 
 #: Per-experiment trial counts.
@@ -28,10 +32,13 @@ TRIALS = {
     "cp_bivalent_windows": 300,
     "delta_sweep_rate": 250,
     "protocol_attack": 15,
-    "tiebreak_ablation": 3,
+    "tiebreak_ablation": 8,
     # The engine perf baseline (the run_all.py acceptance point):
     "engine_trials": 10000,
     "engine_depth": 200,
+    # The protocol-throughput record (E10 workload through the
+    # ProtocolRunner vs the per-run scalar oracle):
+    "protocol_e10_trials": 16,
     # Per-point trials for the Monte-Carlo sweep grids (bench-sized;
     # the grids' own defaults are the production sizes):
     "table1_mc_sweep": 20000,

@@ -1,10 +1,15 @@
 """E10 — the settlement game at the protocol level (Section 2.2).
 
 Runs the full executable protocol (VRF election, signed blocks, rushing
-adversary network) with the private-chain attacker and compares the
-observed settlement-violation rate against the exact optimal-adversary
-probability from the Section 6.6 DP: the concrete attacker must not
-exceed the optimum.  Also benchmarks raw simulator throughput.
+adversary network) through the engine's protocol workload layer
+(:mod:`repro.engine.protocol`): batches of independent ``Simulation``
+runs executed by :class:`ProtocolRunner` under the chunked seed-tree
+contract, with the private-chain attacker's settlement-violation rate
+compared against the exact optimal-adversary probability from the
+Section 6.6 DP — the concrete attacker must not exceed the optimum.
+The per-run scalar oracle (:func:`run_protocol_scalar`) is asserted
+bit-identical to the batched path; ``run_all.py`` records their
+throughput ratio in ``BENCH_engine.json``.
 """
 
 import pytest
@@ -12,7 +17,10 @@ import pytest
 from bench_config import SEEDS, TRIALS
 from repro.analysis.exact import settlement_violation_probability
 from repro.core.distributions import SlotProbabilities
-from repro.protocol.adversary import NullAdversary, PrivateChainAdversary
+from repro.engine.cache import cache_from_env
+from repro.engine.protocol import ProtocolRunner, run_protocol_scalar
+from repro.engine.scenarios import get_scenario
+from repro.protocol.adversary import PrivateChainAdversary
 from repro.protocol.leader import (
     StakeDistribution,
     induced_slot_probabilities,
@@ -32,51 +40,54 @@ def synchronous_law(stakes: StakeDistribution, activity: float):
 
 
 def test_honest_throughput(benchmark):
-    stakes = StakeDistribution.uniform(10, 0)
+    """The E10 throughput workload: a batch of honest 200-slot runs."""
+    scenario = get_scenario("protocol-honest")
+    trials = max(TRIALS["protocol_e10_trials"] // 4, 2)
+    runner = ProtocolRunner(scenario, cache=cache_from_env())
 
-    def run():
-        return Simulation(
-            stakes, activity=0.3, total_slots=200, randomness="throughput"
-        ).run()
+    estimate = benchmark.pedantic(
+        runner.run, (trials, SEEDS["protocol_e10"]), rounds=1, iterations=1
+    )
 
-    result = benchmark(run)
-    assert not result.settlement_violation(10, 30)
-    benchmark.extra_info["slots"] = 200
-    benchmark.extra_info["blocks"] = len(result.union_tree().all_blocks())
+    # Honest synchronous execution never violates settlement.
+    assert estimate.value == 0.0
+    benchmark.extra_info["slots"] = scenario.total_slots
+    benchmark.extra_info["trials"] = trials
 
 
 def test_private_chain_attack_below_optimum(benchmark):
-    stakes = StakeDistribution.uniform(6, 4)
-    activity = 0.4
-    target, depth = 10, 4
+    scenario = get_scenario("protocol-private-chain")
+    runner = ProtocolRunner(scenario, cache=cache_from_env())
+    trials = TRIALS["protocol_attack"]
 
-    def campaign():
-        wins = 0
-        trials = TRIALS["protocol_attack"]
-        for seed in range(trials):
-            simulation = Simulation(
-                stakes,
-                activity,
-                total_slots=90,
-                adversary=PrivateChainAdversary(
-                    target_slot=target, hold=depth, patience=60
-                ),
-                randomness=f"{SEEDS['protocol_attack']}-{seed}",
-            )
-            result = simulation.run()
-            if result.settlement_violation(target, depth):
-                wins += 1
-        return wins / trials
-
-    observed = benchmark.pedantic(campaign, rounds=1, iterations=1)
-
-    optimal = settlement_violation_probability(
-        synchronous_law(stakes, activity), depth
+    estimate = benchmark.pedantic(
+        runner.run, (trials, SEEDS["protocol_attack"]), rounds=1, iterations=1
     )
-    # a concrete (suboptimal) attacker over 15 trials: generous MC slack
-    assert observed <= min(optimal + 0.40, 1.0)
-    benchmark.extra_info["observed_rate"] = f"{observed:.3f}"
+
+    stakes = StakeDistribution.uniform(scenario.honest, scenario.corrupted)
+    optimal = settlement_violation_probability(
+        synchronous_law(stakes, scenario.activity), scenario.depth
+    )
+    # a concrete (suboptimal) attacker over few trials: generous MC slack
+    assert estimate.value <= min(optimal + 0.40, 1.0)
+    benchmark.extra_info["observed_rate"] = f"{estimate.value:.3f}"
     benchmark.extra_info["optimal_adversary"] = f"{optimal:.3f}"
+
+
+def test_scalar_oracle_bit_identical(benchmark):
+    """The per-run reference oracle returns the very same estimate."""
+    scenario = get_scenario("protocol-private-chain", total_slots=60)
+    trials = 6
+
+    scalar = benchmark.pedantic(
+        run_protocol_scalar,
+        (scenario, trials, SEEDS["protocol_attack"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    batched = ProtocolRunner(scenario).run(trials, SEEDS["protocol_attack"])
+    assert scalar == batched
 
 
 def test_execution_fork_extraction(benchmark):
@@ -87,7 +98,7 @@ def test_execution_fork_extraction(benchmark):
         activity=0.4,
         total_slots=120,
         adversary=PrivateChainAdversary(target_slot=20, hold=6),
-        randomness="extract",
+        randomness=SEEDS["protocol_fork_extraction"],
     )
     result = simulation.run()
 

@@ -5,9 +5,13 @@ Two layers of evidence:
 * analytical — as p_h → 0 the Theorem 1 bound (axiom A0) degrades toward
   triviality while the Theorem 2 bound (axiom A0′) is unaffected, with
   the crossover where the paper predicts;
-* operational — a protocol-level split attack that exploits multiply
-  honest slots causes deep reorganisations under first-arrival
-  tie-breaking and collapses under the consistent hash rule.
+* operational — the registered ``protocol-split`` engine workload: a
+  protocol-level split attack exploiting multiply honest slots causes
+  deep reorganisations under first-arrival tie-breaking and collapses
+  under the consistent hash rule.  The ablation runs through
+  :class:`repro.engine.protocol.ProtocolRunner` with the
+  ``protocol_deep_reorg`` estimator (reorg ≥ k), the same machinery the
+  ``protocol`` sweep grid drives over (stake, activity, Δ, rule).
 """
 
 import pytest
@@ -17,10 +21,9 @@ from repro.analysis.bounds import (
     theorem1_settlement_bound,
     theorem2_settlement_bound,
 )
-from repro.protocol.adversary import SplitAdversary
-from repro.protocol.leader import StakeDistribution
-from repro.protocol.simulation import Simulation
-from repro.protocol.tiebreak import consistent_hash_rule
+from repro.engine.cache import cache_from_env
+from repro.engine.protocol import ProtocolRunner, protocol_deep_reorg
+from repro.engine.scenarios import get_scenario
 
 
 def test_theorem2_wins_as_unique_mass_vanishes(benchmark):
@@ -48,33 +51,22 @@ def test_theorem2_wins_as_unique_mass_vanishes(benchmark):
 
 @pytest.mark.parametrize("rule_name", ["adversarial", "consistent"])
 def test_split_attack_under_rule(benchmark, rule_name):
-    """Protocol-level ablation; compare max reorg depth across rules."""
-    stakes = StakeDistribution.uniform(10, 0)
-
-    def run_attack():
-        total_reorg = 0
-        violations = 0
-        for seed in range(TRIALS["tiebreak_ablation"]):
-            kwargs = dict(
-                stakes=stakes,
-                activity=0.8,  # dense slots: many concurrent honest leaders
-                total_slots=70,
-                adversary=SplitAdversary(),
-                randomness=f"{SEEDS['tiebreak_ablation']}-{seed}",
-            )
-            if rule_name == "consistent":
-                kwargs["tie_break"] = consistent_hash_rule
-            result = Simulation(**kwargs).run()
-            total_reorg += result.max_reorg_depth()
-            violations += result.settlement_violation(5, 10)
-        return total_reorg, violations
-
-    total_reorg, _violations = benchmark.pedantic(
-        run_attack, rounds=1, iterations=1
+    """Protocol-level ablation; deep-reorg rate across tie-break rules."""
+    scenario = get_scenario("protocol-split", tie_break=rule_name)
+    runner = ProtocolRunner(
+        scenario, estimator=protocol_deep_reorg, cache=cache_from_env()
     )
-    benchmark.extra_info["total_reorg_depth"] = total_reorg
-    # consistent rule keeps reorgs trivial; adversarial order does not
+    trials = TRIALS["tiebreak_ablation"]
+
+    estimate = benchmark.pedantic(
+        runner.run, (trials, SEEDS["tiebreak_ablation"]), rounds=1, iterations=1
+    )
+
+    benchmark.extra_info["deep_reorg_rate"] = f"{estimate.value:.3f}"
+    # The consistent rule keeps every reorg below the depth-3 bar; the
+    # first-arrival rule hands the split adversary deep reorgs in
+    # (nearly) every execution.
     if rule_name == "consistent":
-        assert total_reorg <= 6
+        assert estimate.value == 0.0
     else:
-        assert total_reorg >= 6
+        assert estimate.value >= 0.75

@@ -1,21 +1,28 @@
 """Run the benchmark suite and record the engine performance baseline.
 
-Three jobs:
+Four jobs:
 
 1. measure scalar-vs-batched throughput of the Monte-Carlo estimators
    (the batched-engine acceptance point: >= 10x on
    estimate_settlement_violation at depth 200, 10k trials);
-2. run the "table1" sweep grid through the orchestration layer
+2. measure the protocol workload (engine layer 5): the E10 throughput
+   scenario through ProtocolRunner (shared validation + hash-indexed
+   predicates) against the per-run scalar oracle run_protocol_scalar
+   (reference-mode simulations, chain-walking predicates) — asserted
+   bit-identical, floor >= 5x (quick: >= 3x) — plus the worker fan-out
+   ratio and a "protocol" sweep-grid pass against the shared cache
+   (warm rerun: zero re-estimation);
+3. run the "table1" sweep grid through the orchestration layer
    (repro.engine.sweeps) against the on-disk result cache at
    .sweep-cache/, recording wall-clock, cache traffic, and — on a cold
    cache — the parallel-over-serial speedup.  A warm-cache rerun does
    ZERO re-estimation: every point is served from the cache;
-3. optionally execute the pytest benchmark suite (skipped with
+4. optionally execute the pytest benchmark suite (skipped with
    --perf-only; shrunk with --quick for CI).  The suite inherits the
    cache via $REPRO_SWEEP_CACHE, so its sweep-driven benches also skip
    already-computed points.
 
-Both records land in BENCH_engine.json at the repo root.
+All records land in BENCH_engine.json at the repo root.
 
 Usage:
     python benchmarks/run_all.py               # full: perf + sweep + suite
@@ -48,6 +55,11 @@ from repro.analysis.montecarlo import (  # noqa: E402
 )
 from repro.core.distributions import bernoulli_condition  # noqa: E402
 from repro.engine.cache import CACHE_DIR_ENV, ResultCache  # noqa: E402
+from repro.engine.protocol import (  # noqa: E402
+    ProtocolRunner,
+    run_protocol_scalar,
+)
+from repro.engine.scenarios import get_scenario  # noqa: E402
 from repro.engine.sweeps import get_grid, run_grid  # noqa: E402
 
 SWEEP_CACHE_DIR = REPO_ROOT / ".sweep-cache"
@@ -123,6 +135,81 @@ def perf_record(quick: bool) -> dict:
         "python": sys.version.split()[0],
         "results": results,
     }
+
+
+def protocol_record(quick: bool, workers: int) -> dict:
+    """Protocol-throughput record: batched engine vs per-run scalar.
+
+    The E10 throughput workload ("protocol-honest": 10 honest nodes,
+    200 synchronous slots) runs once through ProtocolRunner — shared
+    validation, hash-indexed consistency predicates, bucketed message
+    scheduler — and once through run_protocol_scalar, the per-run
+    reference oracle (every node does its own cryptography, predicates
+    walk chains recomputing hashes).  Estimates are bit-identical by
+    the seed-tree contract; the recorded speedup is the layer-5
+    acceptance point.  A workers > 1 pass records the process fan-out
+    ratio (≈ 1 on single-core boxes — the record still tracks it).
+    """
+    scenario = get_scenario("protocol-honest")
+    trials = max(TRIALS["protocol_e10_trials"] // (4 if quick else 1), 4)
+    seed = SEEDS["protocol_e10"]
+
+    runner = ProtocolRunner(scenario)
+    runner.run(2, seed)  # warm-up: allocator, hash machinery, imports
+
+    batched_s, batched = _time(runner.run, trials, seed)
+    scalar_s, scalar = _time(run_protocol_scalar, scenario, trials, seed)
+    assert batched == scalar, "batched/scalar protocol pair diverged"
+
+    record = {
+        "workload": "protocol-honest (E10 throughput)",
+        "slots": scenario.total_slots,
+        "parties": scenario.parties,
+        "trials": trials,
+        "scalar_seconds": round(scalar_s, 4),
+        "batched_seconds": round(batched_s, 4),
+        "speedup": round(scalar_s / batched_s, 1),
+        "slots_per_second": round(scenario.total_slots * trials / batched_s),
+        "value": batched.value,
+    }
+    if workers > 1:
+        parallel_s, parallel = _time(
+            ProtocolRunner(scenario, workers=workers).run, trials, seed
+        )
+        assert parallel == batched, "worker count changed the estimate"
+        record["workers"] = workers
+        record["parallel_seconds"] = round(parallel_s, 4)
+        record["parallel_speedup"] = round(batched_s / parallel_s, 2)
+    return record
+
+
+def protocol_sweep_record(quick: bool, workers: int) -> dict:
+    """The "protocol" grid through run_grid + the shared result cache.
+
+    Same contract as the table1 sweep record: cold points are estimated
+    (fanned across workers when > 1), a warm rerun is served entirely
+    from disk — zero re-execution of any simulation batch.
+    """
+    grid = get_grid("protocol")
+    trials = max(grid.trials // (4 if quick else 1), 4)
+    cache = ResultCache(SWEEP_CACHE_DIR)
+
+    wall_s, rows = _time(
+        run_grid, grid, trials=trials, workers=workers, cache=cache
+    )
+    misses = sum(1 for row in rows if not row["cached"])
+    record = {
+        "grid": grid.name,
+        "points": len(rows),
+        "trials_per_point": trials,
+        "workers": workers,
+        "wall_seconds": round(wall_s, 4),
+        "cache_hits": len(rows) - misses,
+        "cache_misses": misses,
+    }
+    if misses == 0:
+        record["note"] = "warm cache: zero re-estimation"
+    return record
 
 
 def sweep_record(quick: bool, workers: int) -> dict:
@@ -225,6 +312,8 @@ def main() -> int:
     args = parser.parse_args()
 
     record = perf_record(args.quick)
+    record["protocol"] = protocol_record(args.quick, args.workers)
+    record["protocol_sweep"] = protocol_sweep_record(args.quick, args.workers)
     record["sweep"] = sweep_record(args.quick, args.workers)
     out = REPO_ROOT / "BENCH_engine.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
@@ -234,19 +323,36 @@ def main() -> int:
             f"batched {entry['batched_seconds']}s -> "
             f"{entry['speedup']}x (identical estimates)"
         )
-    sweep = record["sweep"]
-    if "parallel_speedup" in sweep:
-        detail = f", parallel speedup {sweep['parallel_speedup']}x"
-    elif "note" in sweep:
-        detail = f" -- {sweep['note']}"
-    else:
-        detail = ""
-    print(
-        f"sweep '{sweep['grid']}': {sweep['points']} points in "
-        f"{sweep['wall_seconds']}s (workers={sweep['workers']}, "
-        f"{sweep['cache_hits']} cached, {sweep['cache_misses']} estimated"
-        f"{detail})"
+    protocol = record["protocol"]
+    parallel_note = (
+        f", {protocol['workers']}-worker fan-out "
+        f"{protocol['parallel_speedup']}x"
+        if "parallel_speedup" in protocol
+        else ""
     )
+    print(
+        f"protocol '{protocol['workload']}': scalar "
+        f"{protocol['scalar_seconds']}s, batched "
+        f"{protocol['batched_seconds']}s -> {protocol['speedup']}x, "
+        f"{protocol['slots_per_second']} slots/s (identical estimates"
+        f"{parallel_note})"
+    )
+    for sweep, label in (
+        (record["protocol_sweep"], "protocol sweep"),
+        (record["sweep"], "sweep"),
+    ):
+        if "parallel_speedup" in sweep:
+            detail = f", parallel speedup {sweep['parallel_speedup']}x"
+        elif "note" in sweep:
+            detail = f" -- {sweep['note']}"
+        else:
+            detail = ""
+        print(
+            f"{label} '{sweep['grid']}': {sweep['points']} points in "
+            f"{sweep['wall_seconds']}s (workers={sweep['workers']}, "
+            f"{sweep['cache_hits']} cached, {sweep['cache_misses']} estimated"
+            f"{detail})"
+        )
     print(f"perf record written to {out}")
 
     # Quick mode times 10x fewer trials, so its measurements are noisier;
@@ -257,6 +363,14 @@ def main() -> int:
         print(
             f"FAIL: batched settlement estimator below the {floor}x floor "
             f"({settlement['speedup']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    protocol_floor = 3 if args.quick else 5
+    if protocol["speedup"] < protocol_floor:
+        print(
+            f"FAIL: batched protocol execution below the "
+            f"{protocol_floor}x floor ({protocol['speedup']}x)",
             file=sys.stderr,
         )
         return 1

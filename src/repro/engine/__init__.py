@@ -1,6 +1,6 @@
 """Batched kernel engine: vectorized recurrences behind a scenario API.
 
-Four layers (bottom to top):
+Five layers (bottom to top):
 
 * :mod:`repro.engine.kernels` — batched NumPy implementations of the
   Theorem 5 recurrences on ``(trials, T)`` uint8 symbol matrices:
@@ -21,6 +21,11 @@ Four layers (bottom to top):
   :class:`ProcessBackend` fans chunks across cores with identical
   results, and :class:`ResultCache` content-addresses every computed
   point on disk so nothing is estimated twice.
+* :mod:`repro.engine.protocol` — the protocol-execution workload:
+  :class:`ProtocolScenario` describes a full Section 2 protocol
+  configuration, samples batches of independent ``Simulation`` runs
+  under the same chunked seed tree, and plugs the executable protocol
+  into the runner / parallel / cache / sweep layers unchanged.
 
 See ``docs/ARCHITECTURE.md`` for the full map and the reproducibility
 contract.
@@ -51,6 +56,15 @@ from repro.engine.runner import (
 )
 from repro.engine.cache import ResultCache, cache_from_env
 from repro.engine.parallel import ProcessBackend, default_workers
+from repro.engine.protocol import (
+    ProtocolBatch,
+    ProtocolRunner,
+    ProtocolScenario,
+    protocol_cp_violation,
+    protocol_deep_reorg,
+    protocol_settlement_violation,
+    run_protocol_scalar,
+)
 from repro.engine.sweeps import (
     SweepGrid,
     SweepPoint,
@@ -64,6 +78,9 @@ __all__ = [
     "Batch",
     "Estimate",
     "ExperimentRunner",
+    "ProtocolBatch",
+    "ProtocolRunner",
+    "ProtocolScenario",
     "NoConsecutiveCatalanInWindow",
     "NoUniqueCatalanInWindow",
     "ProcessBackend",
@@ -83,10 +100,14 @@ __all__ = [
     "kernels",
     "no_consecutive_catalan_in_window",
     "no_unique_catalan_in_window",
+    "protocol_cp_violation",
+    "protocol_deep_reorg",
+    "protocol_settlement_violation",
     "register",
     "register_grid",
     "run_chunk",
     "run_grid",
+    "run_protocol_scalar",
     "run_scenario",
     "scenario_names",
     "settlement_violation",

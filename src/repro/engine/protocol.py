@@ -1,0 +1,438 @@
+"""Layer 5: the executable protocol as a batched engine workload.
+
+PRs 1–2 put every *analytical* measurement — reach/margin recurrences,
+settlement DPs, Catalan masks — behind the scenario → runner → sweep
+pipeline.  This module does the same for the *executable protocol* of
+Section 2: a frozen :class:`ProtocolScenario` describes one protocol
+configuration (stake split, activity, Δ, tie-break rule, adversary
+strategy) in plain JSON-serialisable fields, samples batches of
+independent :class:`~repro.protocol.simulation.Simulation` runs, and
+plugs into the *unchanged* upper layers — ``ExperimentRunner`` chunking,
+``ProcessBackend`` fan-out, ``ResultCache`` content addressing, and
+``run_grid`` sweeps.
+
+Seed discipline (the runner contract, extended): the runner spawns one
+``SeedSequence`` child per chunk exactly as for analytical scenarios;
+:meth:`ProtocolScenario.sample_batch` then draws one uint64 per trial
+from the chunk's generator and derives each run's randomness string from
+it.  A trial's execution is therefore a pure function of its chunk child
+and position — bit-identical for every backend and worker count.
+
+Batched execution runs simulations in ``shared_validation`` mode (pure
+cryptographic checks computed once per block, shared across the node
+set) and evaluates the violation predicates through the block trees'
+hash indexes.  :func:`run_protocol_scalar` is the per-run reference
+oracle: the same seed tree, but reference-mode simulations and the
+``*_scalar`` chain-walking predicates.  The two are bit-identical on
+equal seeds; ``benchmarks/run_all.py`` records their throughput ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.runner import (
+    Estimate,
+    Estimator,
+    ExperimentRunner,
+    chunk_sizes,
+    estimate_from_hits,
+)
+from repro.engine.scenarios import register
+from repro.protocol.adversary import (
+    Adversary,
+    MaxDelayAdversary,
+    NullAdversary,
+    PrivateChainAdversary,
+    SplitAdversary,
+)
+from repro.protocol.leader import StakeDistribution
+from repro.protocol.simulation import Simulation, SimulationResult
+from repro.protocol.tiebreak import (
+    TieBreakRule,
+    adversarial_order_rule,
+    consistent_hash_rule,
+)
+
+__all__ = [
+    "PROTOCOL_CHUNK_SIZE",
+    "ProtocolBatch",
+    "ProtocolRunner",
+    "ProtocolScenario",
+    "protocol_cp_violation",
+    "protocol_deep_reorg",
+    "protocol_settlement_violation",
+    "run_protocol_scalar",
+]
+
+#: Tie-break rules addressable from a frozen scenario (axioms A0 / A0′).
+TIE_BREAK_RULES: dict[str, TieBreakRule] = {
+    "adversarial": adversarial_order_rule,
+    "consistent": consistent_hash_rule,
+}
+
+#: Adversary strategies addressable from a frozen scenario.
+ADVERSARIES = ("null", "private-chain", "split", "max-delay")
+
+#: Default chunk size for protocol runs: one trial is a whole simulated
+#: execution (milliseconds, not microseconds), so chunks are small
+#: enough that a process pool has work to interleave.
+PROTOCOL_CHUNK_SIZE = 8
+
+
+@dataclass(frozen=True, eq=False)
+class ProtocolBatch:
+    """One executed batch: a simulation result per trial, ready for a
+    violation estimator."""
+
+    results: tuple[SimulationResult, ...]
+    seeds: np.ndarray
+
+    @property
+    def trials(self) -> int:
+        return len(self.results)
+
+
+@dataclass(frozen=True)
+class ProtocolScenario:
+    """A declarative protocol-execution workload.
+
+    All fields are JSON-serialisable primitives, so
+    ``dataclasses.asdict`` is a complete cache fingerprint and instances
+    pickle across process boundaries — exactly the properties the upper
+    engine layers assume of a scenario.
+
+    ``parties`` equal-stake participants, of which
+    ``round(parties * adversary_fraction)`` are corrupted.  ``depth`` is
+    the settlement/common-prefix parameter k read by the estimators;
+    ``target_slot`` the attacked slot.  ``hold`` (private-chain only)
+    defaults to ``depth`` — the double-spend must outwait the
+    confirmation depth it attacks.
+    """
+
+    name: str
+    parties: int = 10
+    adversary_fraction: float = 0.0
+    activity: float = 0.3
+    total_slots: int = 100
+    delta: int = 0
+    tie_break: str = "adversarial"
+    adversary: str = "null"
+    target_slot: int = 10
+    depth: int = 4
+    patience: int = 60
+    lead: int = 1
+    hold: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.parties < 2:
+            raise ValueError("parties must be >= 2 (at least one honest node)")
+        if not 0.0 <= self.adversary_fraction < 1.0:
+            raise ValueError("adversary_fraction must lie in [0, 1)")
+        if self.corrupted >= self.parties:
+            raise ValueError("at least one party must remain honest")
+        if not 0.0 < self.activity <= 1.0:
+            raise ValueError("activity must lie in (0, 1]")
+        if self.total_slots < 1:
+            raise ValueError("total_slots must be positive")
+        if self.delta < 0:
+            raise ValueError("delta must be non-negative")
+        if self.tie_break not in TIE_BREAK_RULES:
+            known = ", ".join(sorted(TIE_BREAK_RULES))
+            raise ValueError(
+                f"unknown tie_break {self.tie_break!r}; known: {known}"
+            )
+        if self.adversary not in ADVERSARIES:
+            known = ", ".join(ADVERSARIES)
+            raise ValueError(
+                f"unknown adversary {self.adversary!r}; known: {known}"
+            )
+        if not 1 <= self.target_slot <= self.total_slots:
+            raise ValueError("target_slot must lie in [1, total_slots]")
+        if self.depth < 1:
+            raise ValueError("depth must be a positive settlement depth")
+
+    # -- derived configuration -----------------------------------------
+
+    @property
+    def corrupted(self) -> int:
+        """Number of corrupted parties."""
+        return round(self.parties * self.adversary_fraction)
+
+    @property
+    def honest(self) -> int:
+        """Number of honest parties."""
+        return self.parties - self.corrupted
+
+    def build_adversary(self) -> Adversary:
+        """A fresh adversary strategy instance for one run."""
+        if self.adversary == "private-chain":
+            return PrivateChainAdversary(
+                target_slot=self.target_slot,
+                patience=self.patience,
+                lead=self.lead,
+                hold=self.depth if self.hold is None else self.hold,
+            )
+        if self.adversary == "split":
+            return SplitAdversary(max_delay=self.delta)
+        if self.adversary == "max-delay":
+            return MaxDelayAdversary(max_delay=self.delta)
+        return NullAdversary()
+
+    def build_simulation(
+        self, randomness: str, shared_validation: bool = True
+    ) -> Simulation:
+        """A fully configured :class:`Simulation` for one run."""
+        return Simulation(
+            StakeDistribution.uniform(self.honest, self.corrupted),
+            activity=self.activity,
+            total_slots=self.total_slots,
+            delta=self.delta,
+            tie_break=TIE_BREAK_RULES[self.tie_break],
+            adversary=self.build_adversary(),
+            randomness=randomness,
+            shared_validation=shared_validation,
+        )
+
+    # -- engine integration --------------------------------------------
+
+    def sample_batch(
+        self, trials: int, generator: np.random.Generator
+    ) -> ProtocolBatch:
+        """Execute ``trials`` independent runs seeded from ``generator``.
+
+        One ``(trials,)`` uint64 block is drawn first (the documented
+        randomness phase), then run ``i`` executes with randomness
+        string ``protocol-<seed_i>`` in shared-validation mode.
+        """
+        seeds = generator.integers(0, 2**63, size=trials, dtype=np.uint64)
+        results = tuple(
+            self.build_simulation(f"protocol-{int(seed)}").run()
+            for seed in seeds
+        )
+        return ProtocolBatch(results, seeds)
+
+    def default_estimator(self) -> Estimator:
+        """Settlement failure, except for the split attack whose signal
+        is reorganisation depth (the Theorem 2 ablation measure)."""
+        if self.adversary == "split":
+            return protocol_deep_reorg
+        return protocol_settlement_violation
+
+
+# ----------------------------------------------------------------------
+# Violation estimators (batched) and their scalar twins
+# ----------------------------------------------------------------------
+
+
+def _hits(flags, trials: int) -> np.ndarray:
+    return np.fromiter(flags, dtype=bool, count=trials)
+
+
+def protocol_settlement_violation(
+    scenario: ProtocolScenario, batch: ProtocolBatch
+) -> np.ndarray:
+    """k-settlement failure of the target slot (Definition 3) per run."""
+    return _hits(
+        (
+            r.settlement_violation(scenario.target_slot, scenario.depth)
+            for r in batch.results
+        ),
+        batch.trials,
+    )
+
+
+def protocol_cp_violation(
+    scenario: ProtocolScenario, batch: ProtocolBatch
+) -> np.ndarray:
+    """k-CP^slot failure (Definition 24) per run."""
+    return _hits(
+        (r.cp_slot_violation(scenario.depth) for r in batch.results),
+        batch.trials,
+    )
+
+
+def protocol_deep_reorg(
+    scenario: ProtocolScenario, batch: ProtocolBatch
+) -> np.ndarray:
+    """Did any honest node reorganise ≥ depth blocks?  The tie-break
+    ablation signal: deep under A0 + split scheduling, trivial under A0′."""
+    return _hits(
+        (r.max_reorg_depth() >= scenario.depth for r in batch.results),
+        batch.trials,
+    )
+
+
+def _scalar_settlement(scenario, result) -> bool:
+    return result.settlement_violation_scalar(
+        scenario.target_slot, scenario.depth
+    )
+
+
+def _scalar_cp(scenario, result) -> bool:
+    return result.cp_slot_violation_scalar(scenario.depth)
+
+
+def _scalar_deep_reorg(scenario, result) -> bool:
+    return result.max_reorg_depth_scalar() >= scenario.depth
+
+
+#: batched estimator → per-result scalar predicate (the oracle pairing).
+_SCALAR_TWINS = {
+    protocol_settlement_violation: _scalar_settlement,
+    protocol_cp_violation: _scalar_cp,
+    protocol_deep_reorg: _scalar_deep_reorg,
+}
+
+
+def run_protocol_scalar(
+    scenario: ProtocolScenario,
+    trials: int,
+    seed: int,
+    chunk_size: int = PROTOCOL_CHUNK_SIZE,
+    estimator: Estimator | None = None,
+) -> Estimate:
+    """Per-run reference execution of a protocol scenario.
+
+    Walks the *same* spawned seed tree as :class:`ProtocolRunner` (same
+    chunk partition, same per-trial uint64 draws) but executes each run
+    in reference mode — every node performs its own cryptographic checks
+    — and evaluates the ``*_scalar`` chain-walking predicates.  The
+    returned estimate is bit-identical to the batched path on equal
+    ``(trials, seed, chunk_size)``; only the wall-clock differs.  This
+    is the oracle and the baseline of the ``protocol`` record in
+    ``BENCH_engine.json``.
+    """
+    if estimator is None:
+        estimator = scenario.default_estimator()
+    try:
+        predicate = _SCALAR_TWINS[estimator]
+    except KeyError:
+        raise ValueError(
+            f"estimator {estimator!r} has no scalar twin; use one of the "
+            "protocol_* estimators"
+        )
+    sizes = chunk_sizes(trials, chunk_size)
+    children = np.random.SeedSequence(seed).spawn(len(sizes))
+    hits = 0
+    for size, child in zip(sizes, children):
+        generator = np.random.default_rng(child)
+        seeds = generator.integers(0, 2**63, size=size, dtype=np.uint64)
+        for run_seed in seeds:
+            simulation = scenario.build_simulation(
+                f"protocol-{int(run_seed)}", shared_validation=False
+            )
+            hits += bool(predicate(scenario, simulation.run()))
+    return estimate_from_hits(hits, trials)
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+class ProtocolRunner(ExperimentRunner):
+    """:class:`ExperimentRunner` specialised for protocol scenarios.
+
+    Nothing in the execution path changes — chunked submission, the
+    spawned seed tree, backend independence, and cache integration are
+    inherited verbatim.  The specialisation is the default chunk size
+    (:data:`PROTOCOL_CHUNK_SIZE`: protocol trials are whole simulated
+    executions, so chunks must be small for a pool to interleave) and a
+    type check that catches analytical scenarios passed by mistake.
+    """
+
+    def __init__(
+        self,
+        scenario: ProtocolScenario,
+        estimator: Estimator | None = None,
+        chunk_size: int = PROTOCOL_CHUNK_SIZE,
+        workers: int = 1,
+        cache=None,
+    ) -> None:
+        if not isinstance(scenario, ProtocolScenario):
+            raise TypeError(
+                "ProtocolRunner needs a ProtocolScenario; use "
+                "ExperimentRunner for analytical scenarios"
+            )
+        super().__init__(scenario, estimator, chunk_size, workers, cache)
+
+
+# ----------------------------------------------------------------------
+# Built-in protocol workloads (registered alongside the analytical ones)
+# ----------------------------------------------------------------------
+
+register(
+    ProtocolScenario(
+        name="protocol-honest",
+        parties=10,
+        adversary_fraction=0.0,
+        activity=0.3,
+        total_slots=200,
+        target_slot=10,
+        depth=30,
+        description=(
+            "E10 throughput workload: 10 honest equal-stake nodes, "
+            "synchronous delivery, no adversary; settlement of slot 10 "
+            "at depth 30 must never fail"
+        ),
+    )
+)
+
+register(
+    ProtocolScenario(
+        name="protocol-private-chain",
+        parties=10,
+        adversary_fraction=0.4,
+        activity=0.4,
+        total_slots=90,
+        adversary="private-chain",
+        target_slot=10,
+        depth=4,
+        patience=60,
+        description=(
+            "E10 settlement game: private-chain double-spend against "
+            "slot 10 at depth 4 with 40% corrupted stake (the concrete "
+            "attacker measured against the Section 6.6 optimum)"
+        ),
+    )
+)
+
+register(
+    ProtocolScenario(
+        name="protocol-split",
+        parties=10,
+        adversary_fraction=0.0,
+        activity=0.8,
+        total_slots=70,
+        adversary="split",
+        target_slot=5,
+        depth=3,
+        description=(
+            "E7 ablation workload: stakeless split scheduling of "
+            "concurrent honest blocks; reorgs >= 3 deep under A0, "
+            "collapse to 1 under A0' (Theorem 2)"
+        ),
+    )
+)
+
+register(
+    ProtocolScenario(
+        name="protocol-delta",
+        parties=8,
+        adversary_fraction=0.0,
+        activity=0.5,
+        total_slots=100,
+        delta=3,
+        adversary="max-delay",
+        target_slot=20,
+        depth=10,
+        description=(
+            "Section 8 stressor: every honest broadcast held the full "
+            "Delta budget, manufacturing de-facto concurrent leaders"
+        ),
+    )
+)

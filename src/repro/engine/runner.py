@@ -317,6 +317,12 @@ class ExperimentRunner:
 
     @staticmethod
     def _default_estimator(scenario: Scenario) -> Estimator:
+        # A scenario may supply its own default (the protocol workloads
+        # of repro.engine.protocol do); analytical scenarios fall back
+        # to the settlement pair.
+        factory = getattr(scenario, "default_estimator", None)
+        if factory is not None:
+            return factory()
         return (
             delta_settlement_violation
             if scenario.reduced

@@ -193,6 +193,10 @@ class Scenario:
 # Registry
 # ----------------------------------------------------------------------
 
+#: Name → workload.  Holds the analytical :class:`Scenario` entries
+#: defined below *and* the protocol-execution workloads
+#: (:class:`repro.engine.protocol.ProtocolScenario`) — anything frozen,
+#: named, and replaceable via ``dataclasses.replace`` registers here.
 _REGISTRY: dict[str, Scenario] = {}
 
 

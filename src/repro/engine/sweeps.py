@@ -42,6 +42,12 @@ from repro.core.distributions import (
 )
 from repro.engine.cache import ResultCache
 from repro.engine.parallel import ProcessBackend, SerialBackend
+from repro.engine.protocol import (
+    PROTOCOL_CHUNK_SIZE,
+    protocol_cp_violation,
+    protocol_deep_reorg,
+    protocol_settlement_violation,
+)
 from repro.engine.runner import (
     Estimator,
     ExperimentRunner,
@@ -70,6 +76,9 @@ VIRTUAL_AXES = ("alpha", "unique_fraction")
 ESTIMATORS: dict[str, Estimator] = {
     "settlement-violation": settlement_violation,
     "delta-settlement-violation": delta_settlement_violation,
+    "protocol-settlement-violation": protocol_settlement_violation,
+    "protocol-cp-violation": protocol_cp_violation,
+    "protocol-deep-reorg": protocol_deep_reorg,
 }
 
 
@@ -321,6 +330,31 @@ register_grid(
         description=(
             "Theorem 7 delay sweep: (k, Delta)-settlement failure on "
             "rho_Delta-reduced semi-synchronous strings"
+        ),
+    )
+)
+
+register_grid(
+    SweepGrid(
+        name="protocol",
+        base="protocol-split",
+        axes=(
+            ("adversary_fraction", (0.0, 0.2)),
+            ("activity", (0.5, 0.8)),
+            ("delta", (0, 2)),
+            ("tie_break", ("adversarial", "consistent")),
+        ),
+        trials=24,
+        seed=30303,
+        estimator="protocol-deep-reorg",
+        chunk_size=PROTOCOL_CHUNK_SIZE,
+        description=(
+            "protocol-level Theorem 2 ablation: split-attack deep-reorg "
+            "rate across stake fraction x activity x Delta x tie-break "
+            "rule, executed as batches of full Simulation runs.  The "
+            "split attacker spends no corrupted wins, so the stake axis "
+            "measures abstention (corrupted slots produce nothing, "
+            "thinning honest production), not active adversarial mining"
         ),
     )
 )

@@ -79,8 +79,12 @@ class Adversary:
 
     def _mint(
         self, party: Party, slot: int, parent_hash: str, vrf_proof: str
-    ) -> Block:
-        """Create a signed adversarial block on an arbitrary parent."""
+    ) -> tuple[Block, str]:
+        """Create a signed adversarial block on an arbitrary parent.
+
+        Returns ``(block, block_hash)`` — the hash is computed exactly
+        once here, so callers never re-derive it.
+        """
         assert self.signatures is not None, "adversary not attached"
         keypair = self.keys[party.name]
         draft = Block(
@@ -99,8 +103,9 @@ class Adversary:
             vrf_proof=vrf_proof,
             signature=signature,
         )
-        self.tree.add_block(block)
-        return block
+        block_hash = block.block_hash
+        self.tree.add_block(block, block_hash=block_hash)
+        return block, block_hash
 
 
 class NullAdversary(Adversary):
@@ -159,13 +164,13 @@ class PrivateChainAdversary(Adversary):
         extender = corrupted_leaders[0] if corrupted_leaders else None
 
         if self._released:
-            # After release, behave greedily: extend the longest chain.
+            # After release, behave greedily: extend the longest chain
+            # (longest_tips lists maximal-depth tips in insertion order,
+            # so the first entry is the earliest-observed longest chain).
             if extender is not None:
                 party, proof = extender
-                tip = max(
-                    self.tree.longest_tips(), key=lambda h: self.tree.depth(h)
-                )
-                block = self._mint(party, slot, tip, proof)
+                tip = self.tree.longest_tips()[0]
+                block, _ = self._mint(party, slot, tip, proof)
                 for recipient in self.recipients:
                     network.inject(block, recipient, slot)
             return
@@ -177,21 +182,23 @@ class PrivateChainAdversary(Adversary):
         if self._fork_point is not None and extender is not None:
             party, proof = extender
             assert self._private_tip is not None
-            block = self._mint(party, slot, self._private_tip, proof)
-            self._private_tip = block.block_hash
+            _block, self._private_tip = self._mint(
+                party, slot, self._private_tip, proof
+            )
 
         if self._should_release(slot):
             self._release(slot, network)
 
     def _public_block_before_target(self) -> str:
         """Deepest observed block strictly before the target slot."""
-        candidates = [
-            b
-            for b in self.tree.all_blocks()
-            if b.slot < self.target_slot
-        ]
-        best = max(candidates, key=lambda b: self.tree.depth(b.block_hash))
-        return best.block_hash
+        return max(
+            (
+                h
+                for h in self.tree.hashes()
+                if self.tree.slot_of(h) < self.target_slot
+            ),
+            key=self.tree.depth,
+        )
 
     def _public_height(self) -> int:
         """Height of the observed network excluding the private branch."""
@@ -199,11 +206,11 @@ class PrivateChainAdversary(Adversary):
         cursor = self._private_tip
         while cursor is not None and cursor != self._fork_point:
             private.add(cursor)
-            cursor = self.tree.block(cursor).parent_hash
+            cursor = self.tree.parent_of(cursor)
         return max(
-            self.tree.depth(b.block_hash)
-            for b in self.tree.all_blocks()
-            if b.block_hash not in private
+            self.tree.depth(h)
+            for h in self.tree.hashes()
+            if h not in private
         )
 
     def _should_release(self, slot: int) -> bool:
@@ -222,7 +229,7 @@ class PrivateChainAdversary(Adversary):
         cursor = self._private_tip
         while cursor is not None and cursor != self._fork_point:
             chain.append(cursor)
-            cursor = self.tree.block(cursor).parent_hash
+            cursor = self.tree.parent_of(cursor)
         for recipient in self.recipients:
             for block_hash in reversed(chain):
                 network.inject(self.tree.block(block_hash), recipient, slot)
@@ -266,25 +273,38 @@ class SplitAdversary(Adversary):
     phenomenon that makes ``p_H`` appear *negatively* in the Praos-style
     threshold ``p_h − p_H > p_A``, and the attack that the consistent
     rule A0′ (Theorem 2) neutralises.
+
+    ``max_delay`` additionally holds every honest broadcast back by that
+    many slots, composing the split schedule with the Section 8 delay
+    stressor — the protocol sweep grid uses this to cross A0/A0′ with Δ.
+    It must not exceed the network's Δ budget: the network *enforces*
+    A4Δ rather than trusting adversary implementations, so an
+    out-of-budget delay raises at broadcast time (as with
+    :class:`MaxDelayAdversary`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_delay: int = 0) -> None:
         super().__init__()
-        self._slot_blocks: dict[int, list[Block]] = {}
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be non-negative, got {max_delay}")
+        self.max_delay = max_delay
+        self._slot_blocks: dict[int, list[str]] = {}
 
     def observe_block(self, block: Block) -> None:
-        super().observe_block(block)
-        self._slot_blocks.setdefault(block.slot, []).append(block)
+        block_hash = block.block_hash
+        self.tree.add_block(block, block_hash=block_hash)
+        hashes = self._slot_blocks.setdefault(block.slot, [])
+        if block_hash not in hashes:
+            hashes.append(block_hash)
 
     def honest_delays(
         self, slot: int, block: Block
     ) -> tuple[dict[str, int], dict[str, int]]:
         """Order concurrent honest blocks oppositely for the two halves."""
         peers = self._slot_blocks.get(slot, [])
+        block_hash = block.block_hash
         try:
-            index = next(
-                i for i, b in enumerate(peers) if b.block_hash == block.block_hash
-            )
+            index = next(i for i, h in enumerate(peers) if h == block_hash)
         except StopIteration:
             index = 0
         half = len(self.recipients) // 2
@@ -294,4 +314,9 @@ class SplitAdversary(Adversary):
             # Group 0 sees even-indexed blocks first, group 1 odd-indexed.
             favoured = (index % 2) == group
             priorities[recipient] = 0 if favoured else 1
-        return {}, priorities
+        delays = (
+            {recipient: self.max_delay for recipient in self.recipients}
+            if self.max_delay
+            else {}
+        )
+        return delays, priorities

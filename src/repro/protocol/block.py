@@ -4,11 +4,20 @@ A :class:`Block` commits to its parent by hash (immutability: a block
 pins its entire prefix — the property behind fork axiom A2/F2) and
 carries the slot number, the issuer's verification key, the VRF
 eligibility proof, an opaque payload, and the issuer's signature.
+``Block.block_hash`` *recomputes* the SHA-256 commitment on every access
+— that is the reference cost model (a verifier hashes what it checks);
+hot paths avoid it by construction, see below.
 
-A :class:`BlockTree` is a node's local view: all valid blocks received so
-far, indexed by hash, rooted at genesis.  It answers longest-chain
-queries and converts executions into the paper's abstract forks (see
-:func:`repro.protocol.simulation.execution_fork`).
+A :class:`BlockTree` is a node's local view: all valid blocks received
+so far, indexed by hash, rooted at genesis.  Beyond the block map it
+maintains parent, slot, depth, and depth-bucket indexes keyed by hash,
+so every chain query the protocol layer needs — longest tips, common
+prefix, prefix-at-slot — resolves through dictionary walks without
+recomputing a single block hash.  The batched protocol measurements
+(:mod:`repro.protocol.simulation`, :mod:`repro.engine.protocol`) lean on
+these indexes; the ``*_scalar`` measurement oracles deliberately walk
+:meth:`chain` and recompute hashes, preserving the original cost model
+for the scalar-vs-batched benchmark comparison.
 """
 
 from __future__ import annotations
@@ -73,10 +82,16 @@ class BlockTree:
 
     def __init__(self) -> None:
         root = genesis_block()
-        self._blocks: dict[str, Block] = {root.block_hash: root}
-        self._children: dict[str, list[str]] = {root.block_hash: []}
-        self._depths: dict[str, int] = {root.block_hash: 0}
-        self.genesis_hash = root.block_hash
+        root_hash = root.block_hash
+        self._blocks: dict[str, Block] = {root_hash: root}
+        self._children: dict[str, list[str]] = {root_hash: []}
+        self._depths: dict[str, int] = {root_hash: 0}
+        self._parents: dict[str, str] = {root_hash: ""}
+        self._slots: dict[str, int] = {root_hash: GENESIS_SLOT}
+        #: depth → hashes at that depth, in insertion order.
+        self._by_depth: dict[int, list[str]] = {0: [root_hash]}
+        self._max_depth = 0
+        self.genesis_hash = root_hash
 
     def __contains__(self, block_hash: str) -> bool:
         return block_hash in self._blocks
@@ -92,20 +107,34 @@ class BlockTree:
         """Chain length (number of non-genesis ancestors, inclusive)."""
         return self._depths[block_hash]
 
+    def parent_of(self, block_hash: str) -> str:
+        """Parent hash (``""`` for genesis) without touching the block."""
+        return self._parents[block_hash]
+
+    def slot_of(self, block_hash: str) -> int:
+        """Slot label without touching the block."""
+        return self._slots[block_hash]
+
+    def hashes(self) -> list[str]:
+        """All block hashes, genesis included, in insertion order."""
+        return list(self._blocks)
+
     def can_accept(self, block: Block) -> bool:
         """Structural validity: known parent, strictly increasing slot."""
-        if block.parent_hash not in self._blocks:
-            return False
-        parent = self._blocks[block.parent_hash]
-        return block.slot > parent.slot
+        parent_slot = self._slots.get(block.parent_hash)
+        return parent_slot is not None and block.slot > parent_slot
 
-    def add_block(self, block: Block) -> bool:
+    def add_block(self, block: Block, block_hash: str | None = None) -> bool:
         """Insert a structurally valid block; idempotent.
 
         Returns ``True`` when the block is (now) present, ``False`` when
-        rejected (unknown parent or non-increasing slot).
+        rejected (unknown parent or non-increasing slot).  Callers that
+        already know the hash (the simulation's shared-validation path
+        interns it once per block) pass it as ``block_hash`` to skip the
+        recomputation; when omitted it is derived here.
         """
-        block_hash = block.block_hash
+        if block_hash is None:
+            block_hash = block.block_hash
         if block_hash in self._blocks:
             return True
         if not self.can_accept(block):
@@ -113,7 +142,13 @@ class BlockTree:
         self._blocks[block_hash] = block
         self._children[block_hash] = []
         self._children[block.parent_hash].append(block_hash)
-        self._depths[block_hash] = self._depths[block.parent_hash] + 1
+        depth = self._depths[block.parent_hash] + 1
+        self._depths[block_hash] = depth
+        self._parents[block_hash] = block.parent_hash
+        self._slots[block_hash] = block.slot
+        self._by_depth.setdefault(depth, []).append(block_hash)
+        if depth > self._max_depth:
+            self._max_depth = depth
         return True
 
     def tips(self) -> list[str]:
@@ -122,12 +157,11 @@ class BlockTree:
 
     def max_depth(self) -> int:
         """Length of the longest known chain."""
-        return max(self._depths.values())
+        return self._max_depth
 
     def longest_tips(self) -> list[str]:
         """All block hashes at maximal depth (the LCR tie set)."""
-        best = self.max_depth()
-        return [h for h, d in self._depths.items() if d == best]
+        return list(self._by_depth[self._max_depth])
 
     def chain(self, block_hash: str) -> list[Block]:
         """The chain from genesis to ``block_hash`` (inclusive)."""
@@ -142,33 +176,51 @@ class BlockTree:
         chain.reverse()
         return chain
 
+    def chain_hashes(self, block_hash: str) -> list[str]:
+        """Hashes along the chain, genesis first — pure index walk."""
+        hashes: list[str] = []
+        cursor = block_hash
+        while cursor != "":
+            hashes.append(cursor)
+            cursor = self._parents[cursor]
+        hashes.reverse()
+        return hashes
+
     def chain_slots(self, block_hash: str) -> list[int]:
         """Slot labels along the chain, genesis first."""
-        return [block.slot for block in self.chain(block_hash)]
+        return [self._slots[h] for h in self.chain_hashes(block_hash)]
 
     def common_prefix_slot(self, first: str, second: str) -> int:
-        """Slot of the deepest common ancestor of two chains."""
-        chain_a = self.chain(first)
-        chain_b = self.chain(second)
-        last_common = GENESIS_SLOT
-        for block_a, block_b in zip(chain_a, chain_b):
-            if block_a.block_hash != block_b.block_hash:
-                break
-            last_common = block_a.slot
-        return last_common
+        """Slot of the deepest common ancestor of two chains.
+
+        Resolved by lifting the deeper chain to equal depth and walking
+        both up in lockstep over the parent index — O(depth), no hash
+        recomputation.
+        """
+        a, b = first, second
+        depth_a, depth_b = self._depths[a], self._depths[b]
+        while depth_a > depth_b:
+            a = self._parents[a]
+            depth_a -= 1
+        while depth_b > depth_a:
+            b = self._parents[b]
+            depth_b -= 1
+        while a != b:
+            a = self._parents[a]
+            b = self._parents[b]
+        return self._slots[a]
 
     def prefix_hash_at_slot(self, block_hash: str, slot: int) -> str:
         """Hash of the last block with slot ≤ ``slot`` on the given chain.
 
-        The k-CP comparison primitive: ``C[0 : s]`` of Section 9.
+        The k-CP comparison primitive: ``C[0 : s]`` of Section 9.  Slots
+        strictly increase along a chain, so walking up from the tip until
+        the label fits is exact.
         """
-        chosen = self.genesis_hash
-        for block in self.chain(block_hash):
-            if block.slot <= slot:
-                chosen = block.block_hash
-            else:
-                break
-        return chosen
+        cursor = block_hash
+        while self._slots[cursor] > slot:
+            cursor = self._parents[cursor]
+        return cursor
 
     def all_blocks(self) -> list[Block]:
         """All blocks, genesis included, in insertion order."""

@@ -107,6 +107,10 @@ class VrfLeaderElection:
         self._keys: dict[str, KeyPair] = {
             party.name: self.vrf.generate_keypair() for party in stakes.parties
         }
+        #: (party, slot) → eligibility result.  The VRF is deterministic,
+        #: so the lottery for a slot is evaluated exactly once even though
+        #: the simulation asks again when the elected party mints.
+        self._eligibility_cache: dict[tuple[str, int], tuple[bool, float, str]] = {}
 
     def keypair(self, party: Party) -> KeyPair:
         """The party's VRF key pair."""
@@ -114,11 +118,17 @@ class VrfLeaderElection:
 
     def eligibility(self, party: Party, slot: int) -> tuple[bool, float, str]:
         """``(is_leader, vrf_value, proof)`` for one party and slot."""
+        key = (party.name, slot)
+        cached = self._eligibility_cache.get(key)
+        if cached is not None:
+            return cached
         keypair = self._keys[party.name]
         vrf_input = f"{self.randomness}|slot-{slot}"
         value, proof = self.vrf.evaluate(keypair, vrf_input)
         threshold = phi(self.activity, self.stakes.relative_stake(party))
-        return value < threshold, value, proof
+        result = (value < threshold, value, proof)
+        self._eligibility_cache[key] = result
+        return result
 
     def leaders(self, slot: int) -> list[Party]:
         """All parties elected in ``slot`` (possibly none or several)."""

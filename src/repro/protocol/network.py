@@ -13,10 +13,20 @@ engine asks it, per slot and per recipient, which messages fall due.
 Adversary strategies interact with the network only through
 :meth:`NetworkModel.broadcast` (honest, deadline-bound) and
 :meth:`NetworkModel.inject` (adversarial, unconstrained).
+
+Delivery order is the documented ``(priority, enqueue order)`` contract:
+every :class:`Delivery` carries a monotone sequence number stamped at
+enqueue time, so two *value-equal* messages (same block, recipient,
+slot, and priority — which the adversary can manufacture at will) are
+still distinct schedule entries and drain in exact enqueue order.  The
+queue is bucketed per recipient and per delivery slot; :meth:`due` pops
+whole buckets, so one call costs O(m log m) in the m messages actually
+due rather than rescanning the global queue.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.protocol.block import Block
@@ -31,6 +41,9 @@ class Delivery:
     slot: int
     #: Within-slot delivery order (lower = earlier), adversary-chosen.
     priority: int = 0
+    #: Monotone enqueue stamp; breaks priority ties in enqueue order and
+    #: keeps value-equal duplicates apart (they are distinct deliveries).
+    sequence: int = 0
 
 
 class NetworkModel:
@@ -48,8 +61,18 @@ class NetworkModel:
             raise ValueError(f"delta must be non-negative, got {delta}")
         self.recipients = list(recipients)
         self.delta = delta
-        self._queue: list[Delivery] = []
+        #: recipient → delivery slot → deliveries, in enqueue order.
+        self._buckets: dict[str, dict[int, list[Delivery]]] = {
+            name: {} for name in self.recipients
+        }
+        #: recipient → min-heap of that recipient's pending slot keys.
+        #: A slot appears exactly once: pushed when its bucket is
+        #: created, popped when :meth:`due` drains it.
+        self._slot_heaps: dict[str, list[int]] = {
+            name: [] for name in self.recipients
+        }
         self._sequence = 0
+        self._pending = 0
 
     def broadcast(
         self,
@@ -95,25 +118,37 @@ class NetworkModel:
         self, recipient: str, block: Block, slot: int, priority: int
     ) -> None:
         self._sequence += 1
-        delivery = Delivery(recipient, block, slot, priority)
-        # Stable sequence preserves broadcast order among equal priorities.
-        delivery.priority = priority
-        self._queue.append(delivery)
+        bucket = self._buckets.setdefault(recipient, {})
+        deliveries = bucket.get(slot)
+        if deliveries is None:
+            deliveries = bucket[slot] = []
+            heapq.heappush(
+                self._slot_heaps.setdefault(recipient, []), slot
+            )
+        deliveries.append(
+            Delivery(recipient, block, slot, priority, self._sequence)
+        )
+        self._pending += 1
 
     def due(self, recipient: str, slot: int) -> list[Block]:
         """Messages for ``recipient`` due at the end of ``slot``, in order.
 
         Delivery order is (priority, enqueue order); the adversary sets
         priorities, so it fully controls per-recipient ordering (A0).
+        Each call drains exactly the due buckets: cost is O(m log m) in
+        the m returned messages, independent of everything still queued.
         """
-        due_now = [
-            d for d in self._queue if d.recipient == recipient and d.slot <= slot
-        ]
-        due_now.sort(key=lambda d: (d.priority, self._queue.index(d)))
-        for delivery in due_now:
-            self._queue.remove(delivery)
+        heap = self._slot_heaps.get(recipient)
+        if not heap or heap[0] > slot:
+            return []
+        bucket = self._buckets[recipient]
+        due_now: list[Delivery] = []
+        while heap and heap[0] <= slot:
+            due_now.extend(bucket.pop(heapq.heappop(heap)))
+        due_now.sort(key=lambda d: (d.priority, d.sequence))
+        self._pending -= len(due_now)
         return [d.block for d in due_now]
 
     def pending_count(self) -> int:
         """Undelivered messages (used by tests to check A0 compliance)."""
-        return len(self._queue)
+        return self._pending

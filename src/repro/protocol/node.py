@@ -7,8 +7,15 @@ chain and broadcasts the result."*
 
 A node keeps its own :class:`~repro.protocol.block.BlockTree`, validates
 incoming blocks (structure, signature, leader eligibility), tracks
-arrival order (which feeds the A0 tie-breaking rule), and mints blocks on
-the selected chain when elected.
+arrival order (which feeds the A0 tie-breaking rule), remembers its
+currently adopted tip (which A0 prefers on rank ties), and mints blocks
+on the selected chain when elected.
+
+By default every node performs its own cryptographic checks — the
+reference cost model of a real deployment.  The simulation may inject
+``verify_signature`` / ``hash_block`` callbacks that share those pure
+functions across the whole node set (the engine's batched execution
+mode); results are identical either way.
 """
 
 from __future__ import annotations
@@ -33,15 +40,22 @@ class HonestNode:
         signatures: IdealSignatureScheme,
         tie_break: TieBreakRule,
         check_eligibility: EligibilityCheck,
+        verify_signature: Callable[[Block], bool] | None = None,
+        hash_block: Callable[[Block], str] | None = None,
     ) -> None:
         self.name = name
         self.keypair = keypair
         self.signatures = signatures
         self.tie_break = tie_break
         self.check_eligibility = check_eligibility
+        self._verify_signature = verify_signature
+        self._hash_block = hash_block
         self.tree = BlockTree()
         self._arrival_rank: dict[str, int] = {self.tree.genesis_hash: 0}
         self._arrival_counter = 0
+        #: The adopted chain's tip after the last selection (axiom A0's
+        #: "keep your current chain" input; starts at genesis).
+        self._current_tip = self.tree.genesis_hash
         #: Blocks whose parents have not arrived yet (the network is
         #: allowed to reorder, so children can precede parents in a slot).
         self._orphans: list[Block] = []
@@ -69,14 +83,25 @@ class HonestNode:
     def _is_intrinsically_valid(self, block: Block) -> bool:
         if block.parent_hash == "":
             return False  # a second genesis is never valid
-        if not self.signatures.verify(block.issuer, block.header(), block.signature):
+        if self._verify_signature is not None:
+            if not self._verify_signature(block):
+                return False
+        elif not self.signatures.verify(
+            block.issuer, block.header(), block.signature
+        ):
             return False
         return self.check_eligibility(block.issuer, block.slot, block.vrf_proof)
 
-    def _insert(self, block: Block) -> None:
-        if self.tree.add_block(block):
+    def _insert(self, block: Block) -> str:
+        block_hash = (
+            self._hash_block(block)
+            if self._hash_block is not None
+            else block.block_hash
+        )
+        if self.tree.add_block(block, block_hash=block_hash):
             self._arrival_counter += 1
-            self._arrival_rank.setdefault(block.block_hash, self._arrival_counter)
+            self._arrival_rank.setdefault(block_hash, self._arrival_counter)
+        return block_hash
 
     def _drain_orphans(self) -> None:
         progress = True
@@ -94,7 +119,11 @@ class HonestNode:
 
     def best_tip(self) -> str:
         """The adopted chain's tip under LCR + the node's tie-break rule."""
-        return select_chain(self.tree, self.tie_break, self._arrival_rank)
+        tip = select_chain(
+            self.tree, self.tie_break, self._arrival_rank, self._current_tip
+        )
+        self._current_tip = tip
+        return tip
 
     def best_chain_depth(self) -> int:
         """Length of the adopted chain."""
@@ -120,5 +149,5 @@ class HonestNode:
             signature=signature,
         )
         # A leader adopts its own block immediately.
-        self._insert(block)
+        self._current_tip = self._insert(block)
         return block

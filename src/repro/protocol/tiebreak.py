@@ -6,11 +6,17 @@ chains.  The paper analyses two regimes:
 * **A0 (adversarial tie-breaking)** — the rushing adversary controls
   message order, so ties resolve in the adversary's favour; modelled by
   ranking tied chains by arrival order (earliest first), which the
-  adversary manipulates through delivery scheduling;
+  adversary manipulates through delivery scheduling.  A node that
+  already adopted one of the tied chains *keeps it* when the challenger
+  arrived no earlier — an equally long later arrival never displaces the
+  current chain;
 * **A0′ (consistent tie-breaking)** — all honest parties apply the same
   deterministic rule; any such rule works, and we use the minimal block
   hash, so two honest parties seeing the same tie set always pick the
   same chain (Theorem 2's setting).
+
+Every rule receives the node's currently adopted tip (``None`` for a
+stateless query); :func:`select_chain` threads it through.
 """
 
 from __future__ import annotations
@@ -19,24 +25,47 @@ from collections.abc import Callable
 
 from repro.protocol.block import BlockTree
 
-#: A tie-breaking rule maps (tree, tied tips, arrival ranks) to the chosen tip.
-TieBreakRule = Callable[[BlockTree, list[str], dict[str, int]], str]
+#: A tie-breaking rule maps (tree, tied tips, arrival ranks, current tip)
+#: to the chosen tip.
+TieBreakRule = Callable[[BlockTree, list[str], dict[str, int], "str | None"], str]
+
+#: Arrival rank assigned to a tip the node never recorded an arrival
+#: for: later than anything real, so known arrivals always win first.
+_UNSEEN_RANK = 1 << 60
 
 
 def adversarial_order_rule(
-    tree: BlockTree, tips: list[str], arrival_rank: dict[str, int]
+    tree: BlockTree,
+    tips: list[str],
+    arrival_rank: dict[str, int],
+    current_tip: str | None = None,
 ) -> str:
     """Axiom A0: prefer the tip whose block arrived first.
 
     Honest nodes keep their current chain on ties with equally long
     later arrivals, which is exactly what lets the adversary steer ties
-    by delivering its preferred block first.
+    by delivering its preferred block first: to displace an adopted
+    chain the adversary must get its challenger in *earlier*, not merely
+    at the same rank.  Inside a simulation per-node arrival ranks are
+    unique, so the earlier-arrival comparison already decides every
+    tie there; the keep-current clause binds for direct API queries
+    with equal or unrecorded ranks, where the old sentinel-plus-hash
+    fallback could switch a node off its adopted chain.  The hash
+    comparison remains as a last-resort total order for stateless
+    queries with no current tip.
     """
-    return min(tips, key=lambda h: (arrival_rank.get(h, 1 << 60), h))
+    def key(tip: str) -> tuple[int, int, str]:
+        keep = 0 if tip == current_tip else 1
+        return (arrival_rank.get(tip, _UNSEEN_RANK), keep, tip)
+
+    return min(tips, key=key)
 
 
 def consistent_hash_rule(
-    tree: BlockTree, tips: list[str], arrival_rank: dict[str, int]
+    tree: BlockTree,
+    tips: list[str],
+    arrival_rank: dict[str, int],
+    current_tip: str | None = None,
 ) -> str:
     """Axiom A0′: a fixed global rule — the lexicographically least hash."""
     return min(tips)
@@ -46,9 +75,14 @@ def select_chain(
     tree: BlockTree,
     rule: TieBreakRule,
     arrival_rank: dict[str, int],
+    current_tip: str | None = None,
 ) -> str:
-    """Longest-chain selection with the supplied tie-breaking rule."""
+    """Longest-chain selection with the supplied tie-breaking rule.
+
+    ``current_tip`` is the node's adopted chain before this selection;
+    rules may prefer it on ties (axiom A0's "keep your chain" clause).
+    """
     tips = tree.longest_tips()
     if len(tips) == 1:
         return tips[0]
-    return rule(tree, tips, arrival_rank)
+    return rule(tree, tips, arrival_rank, current_tip)

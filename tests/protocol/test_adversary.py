@@ -38,10 +38,11 @@ class TestBaseAdversary:
     def test_minted_blocks_are_well_signed(self):
         adversary, scheme = attached(Adversary())
         party = Party("mallory", 1.0, corrupted=True)
-        block = adversary._mint(
+        block, block_hash = adversary._mint(
             party, 1, adversary.tree.genesis_hash, "proof"
         )
         assert scheme.verify(block.issuer, block.header(), block.signature)
+        assert block_hash == block.block_hash
 
     def test_default_hooks_are_inert(self):
         adversary, _ = attached(NullAdversary())

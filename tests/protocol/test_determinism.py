@@ -1,0 +1,158 @@
+"""Protocol determinism: repeats, execution modes, drains, predicates.
+
+The layer-5 contract mirrors the engine determinism suite
+(``tests/engine/test_parallel.py``): a protocol run is a pure function
+of its configuration and randomness string — identical across repeats,
+identical between the reference and shared-validation execution modes,
+and (through the runner) identical for every worker count.  The
+``*_scalar`` measurement oracles must agree with the hash-indexed
+predicates on adversarial executions, and the bucketed network must be
+fully drained by the end-of-run flush for every Δ.
+"""
+
+import pytest
+
+from repro.engine.protocol import (
+    ProtocolRunner,
+    ProtocolScenario,
+    protocol_cp_violation,
+    protocol_deep_reorg,
+    protocol_settlement_violation,
+    run_protocol_scalar,
+)
+from repro.engine.scenarios import get_scenario
+from repro.protocol.adversary import (
+    MaxDelayAdversary,
+    PrivateChainAdversary,
+    SplitAdversary,
+)
+from repro.protocol.leader import StakeDistribution
+from repro.protocol.simulation import Simulation
+
+
+def make_adversary(kind: str, delta: int = 0):
+    if kind == "private-chain":
+        return PrivateChainAdversary(target_slot=10, hold=4, patience=40)
+    if kind == "split":
+        return SplitAdversary()
+    if kind == "max-delay":
+        return MaxDelayAdversary(max_delay=delta)
+    return None
+
+
+def run_once(kind: str = "private-chain", shared: bool = False, delta: int = 0):
+    corrupted = 4 if kind == "private-chain" else 0
+    return Simulation(
+        StakeDistribution.uniform(6, corrupted),
+        activity=0.5,
+        total_slots=60,
+        delta=delta,
+        adversary=make_adversary(kind, delta),
+        randomness="determinism-seed",
+        shared_validation=shared,
+    ).run()
+
+
+def snapshot(result):
+    """Everything observable about a run, for bit-identity comparison."""
+    return (
+        result.characteristic_string,
+        [(r.slot, r.symbol, r.adopted_tips) for r in result.records],
+        sorted(b.block_hash for b in result.union_tree().all_blocks()),
+    )
+
+
+class TestFixedSeedRepeats:
+    @pytest.mark.parametrize("kind", ["null", "private-chain", "split"])
+    def test_bit_identical_across_repeats(self, kind):
+        assert snapshot(run_once(kind)) == snapshot(run_once(kind))
+
+    @pytest.mark.parametrize("kind", ["null", "private-chain", "split"])
+    def test_shared_validation_mode_changes_nothing(self, kind):
+        reference = run_once(kind, shared=False)
+        batched = run_once(kind, shared=True)
+        assert snapshot(reference) == snapshot(batched)
+
+    def test_delta_run_identical_across_modes(self):
+        reference = run_once("max-delay", shared=False, delta=3)
+        batched = run_once("max-delay", shared=True, delta=3)
+        assert snapshot(reference) == snapshot(batched)
+
+
+class TestFinalDrain:
+    @pytest.mark.parametrize("delta", [0, 1, 3])
+    def test_nothing_pending_after_run(self, delta):
+        simulation = Simulation(
+            StakeDistribution.uniform(6, 0),
+            activity=0.5,
+            total_slots=40,
+            delta=delta,
+            adversary=MaxDelayAdversary(max_delay=delta),
+            randomness=f"drain-{delta}",
+        )
+        simulation.run()
+        assert simulation.network.pending_count() == 0
+
+
+class TestScalarOracles:
+    """Hash-indexed predicates ≡ the chain-walking scalar algorithms."""
+
+    @pytest.mark.parametrize("kind", ["private-chain", "split"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_predicates_agree_on_adversarial_runs(self, kind, seed):
+        corrupted = 4 if kind == "private-chain" else 0
+        result = Simulation(
+            StakeDistribution.uniform(6, corrupted),
+            activity=0.6,
+            total_slots=60,
+            adversary=make_adversary(kind),
+            randomness=f"oracle-{kind}-{seed}",
+        ).run()
+        for target, depth in ((10, 4), (5, 10), (20, 2)):
+            assert result.settlement_violation(
+                target, depth
+            ) == result.settlement_violation_scalar(target, depth)
+        for depth in (2, 5, 10):
+            assert result.cp_slot_violation(
+                depth
+            ) == result.cp_slot_violation_scalar(depth)
+        assert result.max_reorg_depth() == result.max_reorg_depth_scalar()
+
+
+class TestRunnerBackendIndependence:
+    """Batched protocol runs: serial ≡ 2 ≡ 4 workers ≡ scalar oracle."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return get_scenario("protocol-split", total_slots=40)
+
+    @pytest.fixture(scope="class")
+    def serial(self, scenario):
+        return ProtocolRunner(scenario, chunk_size=4).run(12, seed=99)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_identical_across_worker_counts(self, scenario, serial, workers):
+        runner = ProtocolRunner(scenario, chunk_size=4, workers=workers)
+        assert runner.run(12, seed=99) == serial
+
+    def test_scalar_oracle_matches(self, scenario, serial):
+        assert run_protocol_scalar(scenario, 12, seed=99, chunk_size=4) == serial
+
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            protocol_settlement_violation,
+            protocol_cp_violation,
+            protocol_deep_reorg,
+        ],
+    )
+    def test_every_estimator_has_matching_scalar_twin(
+        self, scenario, estimator
+    ):
+        batched = ProtocolRunner(
+            scenario, estimator=estimator, chunk_size=4
+        ).run(8, seed=5)
+        scalar = run_protocol_scalar(
+            scenario, 8, seed=5, chunk_size=4, estimator=estimator
+        )
+        assert batched == scalar

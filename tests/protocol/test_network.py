@@ -83,3 +83,76 @@ class TestRushingAdversary:
         for block in blocks:
             net.broadcast(block, 1)
         assert net.due("a", 1) == blocks
+
+
+class TestSchedulerOrdering:
+    """Regression suite for the equality-aliased ordering bug.
+
+    The old scheduler sorted due messages by ``(priority,
+    queue.index(delivery))``; ``Delivery`` is an ``eq=True`` dataclass,
+    so ``list.index`` matched by *value* and value-equal duplicates all
+    aliased to the first match's index — jumping the queue ahead of
+    messages enqueued between them — while each ``due()`` call rescanned
+    and ``remove()``d through the whole flat queue.
+    """
+
+    def test_value_equal_duplicates_keep_enqueue_order(self):
+        # Two value-equal broadcasts of the same block at equal priority
+        # with a distinct block between them: the old index-aliased sort
+        # returned [dup, dup, other]; enqueue order is [dup, other, dup].
+        net = NetworkModel(["a"], delta=0)
+        dup = make_block(1, "dup")
+        other = make_block(1, "other")
+        net.broadcast(dup, 1)
+        net.broadcast(other, 1)
+        net.broadcast(dup, 1)
+        assert net.due("a", 1) == [dup, other, dup]
+
+    def test_adversarial_inject_interleavings(self):
+        """Injected duplicates interleaved with broadcasts drain in
+        (priority, enqueue order) exactly."""
+        net = NetworkModel(["a"], delta=0)
+        h1 = make_block(2, "h1")
+        h2 = make_block(2, "h2")
+        adv = make_block(2, "adv")
+        net.broadcast(h1, 2)
+        net.inject(adv, "a", 2)               # priority −1: rushes ahead
+        net.broadcast(h2, 2)
+        net.inject(adv, "a", 2, priority=0)   # value-equal, honest priority
+        assert net.due("a", 2) == [adv, h1, h2, adv]
+
+    def test_duplicate_injections_each_delivered_exactly_once(self):
+        net = NetworkModel(["a"], delta=0)
+        block = make_block(1, "x")
+        for _ in range(3):
+            net.inject(block, "a", 1)
+        assert net.due("a", 1) == [block] * 3
+        assert net.pending_count() == 0
+        # Nothing left to rescan: the drained buckets are gone.
+        assert net.due("a", 1) == []
+        assert net._buckets["a"] == {}
+
+    def test_sequence_numbers_are_distinct_and_monotone(self):
+        net = NetworkModel(["a", "b"], delta=0)
+        same = make_block(1, "same")
+        net.broadcast(same, 1)
+        net.broadcast(same, 1)
+        sequences = [
+            delivery.sequence
+            for bucket in net._buckets.values()
+            for deliveries in bucket.values()
+            for delivery in deliveries
+        ]
+        assert len(set(sequences)) == 4
+        assert all(s > 0 for s in sequences)
+
+    def test_cross_slot_leftovers_merge_by_priority_then_sequence(self):
+        """The (priority, enqueue order) contract spans delivery slots:
+        a rushed later message beats a low-priority leftover."""
+        net = NetworkModel(["a"], delta=0)
+        early = make_block(1, "early")
+        late = make_block(2, "late")
+        net.inject(early, "a", 1, priority=5)
+        net.inject(late, "a", 2, priority=-1)
+        assert net.due("a", 2) == [late, early]
+        assert net.pending_count() == 0

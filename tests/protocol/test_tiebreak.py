@@ -49,6 +49,49 @@ class TestConsistentHashRule:
         assert len(choices) == 1
 
 
+class TestCurrentChainPreference:
+    """Axiom A0's "keep your current chain" clause (the docstring the
+    old sentinel-plus-hash fallback contradicted)."""
+
+    def test_node_keeps_current_chain_on_rank_ties(self):
+        tree, a, b = forked_tree()
+        hash_winner = min(a, b)
+        hash_loser = max(a, b)
+        ranks = {a: 1, b: 1}
+        # Stateless query: the hash fallback decides, as before …
+        assert adversarial_order_rule(tree, [a, b], ranks) == hash_winner
+        # … but a node already on the hash-losing chain keeps it — the
+        # old rule switched to the smaller hash here.
+        assert (
+            adversarial_order_rule(
+                tree, [a, b], ranks, current_tip=hash_loser
+            )
+            == hash_loser
+        )
+
+    def test_earlier_arrival_still_displaces_current_chain(self):
+        tree, a, b = forked_tree()
+        assert (
+            adversarial_order_rule(tree, [a, b], {a: 1, b: 2}, current_tip=b)
+            == a
+        )
+
+    def test_select_chain_threads_current_tip(self):
+        tree, a, b = forked_tree()
+        keeper = max(a, b)
+        chosen = select_chain(
+            tree, adversarial_order_rule, {a: 3, b: 3}, current_tip=keeper
+        )
+        assert chosen == keeper
+
+    def test_consistent_rule_ignores_current_tip(self):
+        tree, a, b = forked_tree()
+        assert (
+            consistent_hash_rule(tree, [a, b], {}, current_tip=max(a, b))
+            == min(a, b)
+        )
+
+
 class TestSelectChain:
     def test_no_tie_short_circuits(self):
         tree = BlockTree()

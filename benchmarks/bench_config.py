@@ -23,6 +23,10 @@ SEEDS = {
     "tiebreak_ablation": 808,
     "engine_scalar_vs_batched": 2020,
     "protocol_e10": 4242,
+    # Random (off-grid) settlement-oracle queries; the artifact's own
+    # Monte-Carlo seed lives in the OracleSpec (it is part of the
+    # artifact fingerprint, so it belongs to the spec, not here).
+    "oracle_queries": 6060,
 }
 
 #: Per-experiment trial counts.
@@ -42,4 +46,7 @@ TRIALS = {
     # Per-point trials for the Monte-Carlo sweep grids (bench-sized;
     # the grids' own defaults are the production sizes):
     "table1_mc_sweep": 20000,
+    # The settlement-oracle throughput record (E11):
+    "oracle_batch_queries": 200000,
+    "oracle_single_queries": 2000,
 }

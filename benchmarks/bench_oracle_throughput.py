@@ -1,0 +1,161 @@
+"""E11 — the settlement oracle: exactness, conservatism, throughput.
+
+The oracle's whole claim is that precomputation moves settlement
+queries from DP-speed to memory-speed without giving up safety.  Four
+checks:
+
+* **exact at grid points** — every tabulated cell answers bit-identical
+  to ``settlement_violation_probability`` on the cell's effective law;
+* **conservative between grid points** — on a spot-check set of
+  off-grid queries, the oracle's answer dominates the exact DP value
+  computed directly at the query coordinates;
+* **no-op rebuild** — rebuilding the artifact from an identical spec
+  loads the manifest and touches neither the DP nor the Monte-Carlo
+  estimator (and a forced rebuild against the warm result cache does
+  zero re-estimation);
+* **throughput floors** — a single scalar query beats recomputing the
+  DP by ≥ 100× and the vectorized batch path answers ≥ 50 000
+  queries/second (the same floors ``run_all.py`` asserts when writing
+  the ``oracle`` record to BENCH_engine.json).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_config import SEEDS, TRIALS
+from repro.analysis.exact import settlement_violation_probability
+from repro.engine import cache_from_env
+from repro.oracle import (
+    SettlementOracle,
+    TINY_SPEC,
+    build_tables,
+    effective_probabilities,
+)
+
+#: Random off-grid query generator shared with run_all.py's record.
+QUERY_SEED = SEEDS["oracle_queries"]
+BATCH_QUERIES = TRIALS["oracle_batch_queries"]
+SINGLE_QUERIES = TRIALS["oracle_single_queries"]
+DP_SAMPLES = 5
+PER_QUERY_FLOOR = 100.0
+BATCH_FLOOR = 50_000.0
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("oracle") / "tables"
+    report = build_tables(
+        TINY_SPEC, out_dir=directory, cache=cache_from_env()
+    )
+    return directory, report
+
+
+@pytest.fixture(scope="module")
+def oracle(artifact):
+    directory, _ = artifact
+    return SettlementOracle.load(directory)
+
+
+def random_queries(spec, count: int, rng: np.random.Generator):
+    """Columnar random queries inside the table's conservative hull."""
+    alphas = rng.uniform(spec.alphas[0], spec.alphas[-1], count)
+    fractions = rng.uniform(
+        spec.unique_fractions[0], spec.unique_fractions[-1], count
+    )
+    deltas = rng.uniform(spec.deltas[0], spec.deltas[-1], count)
+    depths = rng.uniform(spec.depths[0], spec.depths[-1], count)
+    return alphas, fractions, deltas, depths
+
+
+def test_exact_at_every_grid_point(oracle):
+    spec = oracle.spec
+    for i, j, l, alpha, fraction, delta in spec.combos():
+        law = effective_probabilities(alpha, fraction, delta, spec.activity)
+        for k in spec.depths:
+            assert oracle.violation_probability(alpha, fraction, delta, k) == (
+                settlement_violation_probability(law, k)
+            )
+
+
+def test_conservative_on_random_off_grid_queries(oracle):
+    spec = oracle.spec
+    rng = np.random.default_rng(QUERY_SEED)
+    alphas, fractions, deltas, depths = random_queries(spec, 25, rng)
+    deltas = np.round(deltas).astype(int)
+    depths = np.floor(depths).astype(int)
+    answers = oracle.violation_probabilities(alphas, fractions, deltas, depths)
+    for alpha, fraction, delta, depth, answer in zip(
+        alphas, fractions, deltas, depths, answers
+    ):
+        law = effective_probabilities(
+            float(alpha), float(fraction), int(delta), spec.activity
+        )
+        exact = settlement_violation_probability(law, int(depth))
+        assert answer >= exact * (1.0 - 1e-12)
+
+
+def test_identical_rebuild_is_noop(artifact):
+    directory, first = artifact
+    assert first.rebuilt
+    rerun = build_tables(TINY_SPEC, out_dir=directory)
+    assert not rerun.rebuilt
+    assert np.array_equal(rerun.tables.forward, first.tables.forward)
+
+
+def test_single_query_speedup_floor(oracle, benchmark):
+    spec = oracle.spec
+    rng = np.random.default_rng(QUERY_SEED)
+    alphas, fractions, deltas, depths = random_queries(
+        spec, SINGLE_QUERIES, rng
+    )
+
+    def single_queries():
+        total = 0.0
+        for index in range(SINGLE_QUERIES):
+            total += oracle.violation_probability(
+                alphas[index],
+                fractions[index],
+                deltas[index],
+                depths[index],
+            )
+        return total
+
+    benchmark(single_queries)
+    start = time.perf_counter()
+    single_queries()
+    oracle_per_query = (time.perf_counter() - start) / SINGLE_QUERIES
+
+    start = time.perf_counter()
+    for i, j, l, alpha, fraction, delta in list(spec.combos())[:DP_SAMPLES]:
+        settlement_violation_probability(
+            effective_probabilities(alpha, fraction, delta, spec.activity),
+            spec.depth_horizon,
+        )
+    dp_per_query = (time.perf_counter() - start) / DP_SAMPLES
+
+    speedup = dp_per_query / oracle_per_query
+    benchmark.extra_info["per_query_speedup"] = round(speedup, 1)
+    assert speedup >= PER_QUERY_FLOOR, (
+        f"oracle scalar query only {speedup:.1f}x faster than the DP "
+        f"(floor {PER_QUERY_FLOOR}x)"
+    )
+
+
+def test_batch_throughput_floor(oracle, benchmark):
+    rng = np.random.default_rng(QUERY_SEED + 1)
+    columns = random_queries(oracle.spec, BATCH_QUERIES, rng)
+
+    result = benchmark(oracle.violation_probabilities, *columns)
+    assert result.shape == (BATCH_QUERIES,)
+
+    start = time.perf_counter()
+    oracle.violation_probabilities(*columns)
+    elapsed = time.perf_counter() - start
+    throughput = BATCH_QUERIES / elapsed
+    benchmark.extra_info["queries_per_second"] = round(throughput)
+    assert throughput >= BATCH_FLOOR, (
+        f"batch path serves {throughput:.0f} queries/s "
+        f"(floor {BATCH_FLOOR:.0f})"
+    )

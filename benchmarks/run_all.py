@@ -1,6 +1,6 @@
 """Run the benchmark suite and record the engine performance baseline.
 
-Four jobs:
+Five jobs:
 
 1. measure scalar-vs-batched throughput of the Monte-Carlo estimators
    (the batched-engine acceptance point: >= 10x on
@@ -17,7 +17,12 @@ Four jobs:
    .sweep-cache/, recording wall-clock, cache traffic, and — on a cold
    cache — the parallel-over-serial speedup.  A warm-cache rerun does
    ZERO re-estimation: every point is served from the cache;
-4. optionally execute the pytest benchmark suite (skipped with
+4. build the tiny settlement-oracle artifact (MC cross-check through
+   the shared cache), assert an identical rebuild is a no-op, and
+   measure both query paths against recomputing the exact DP per query
+   (floors: scalar >= 100x the DP, batch >= 50k queries/s) — the
+   "oracle" record;
+5. optionally execute the pytest benchmark suite (skipped with
    --perf-only; shrunk with --quick for CI).  The suite inherits the
    cache via $REPRO_SWEEP_CACHE, so its sweep-driven benches also skip
    already-computed points.
@@ -61,8 +66,18 @@ from repro.engine.protocol import (  # noqa: E402
 )
 from repro.engine.scenarios import get_scenario  # noqa: E402
 from repro.engine.sweeps import get_grid, run_grid  # noqa: E402
+from repro.analysis.exact import (  # noqa: E402
+    settlement_violation_probability,
+)
+from repro.oracle import (  # noqa: E402
+    SettlementOracle,
+    TINY_SPEC,
+    build_tables,
+    effective_probabilities,
+)
 
 SWEEP_CACHE_DIR = REPO_ROOT / ".sweep-cache"
+ORACLE_ARTIFACT_DIR = REPO_ROOT / ".oracle-tables"
 
 
 def _time(callable_, *args, **kwargs):
@@ -256,6 +271,93 @@ def sweep_record(quick: bool, workers: int) -> dict:
     return record
 
 
+def oracle_record(quick: bool, workers: int) -> dict:
+    """The settlement-oracle record (E11): build, no-op rebuild, QPS.
+
+    Builds the tiny-preset artifact (the Monte-Carlo cross-check runs
+    through run_grid against the shared .sweep-cache, so a warm rerun
+    re-checks without re-estimating), asserts an identical rebuild is a
+    manifest-level no-op, then measures the two query paths against the
+    cost of recomputing the exact DP per query.  Floors — scalar ≥ 100x
+    the DP, batch ≥ 50k queries/s — are asserted by main().
+    """
+    import numpy as np
+
+    from bench_oracle_throughput import (
+        BATCH_QUERIES,
+        QUERY_SEED,
+        SINGLE_QUERIES,
+        random_queries,
+    )
+
+    cache = ResultCache(SWEEP_CACHE_DIR)
+    build_s, report = _time(
+        build_tables,
+        TINY_SPEC,
+        out_dir=ORACLE_ARTIFACT_DIR,
+        workers=workers,
+        cache=cache,
+    )
+    rebuild_s, rerun = _time(
+        build_tables, TINY_SPEC, out_dir=ORACLE_ARTIFACT_DIR, cache=cache
+    )
+    assert not rerun.rebuilt, "identical rebuild was not a no-op"
+
+    oracle = SettlementOracle.load(ORACLE_ARTIFACT_DIR)
+    spec = oracle.spec
+    rng = np.random.default_rng(QUERY_SEED)
+    alphas, fractions, deltas, depths = random_queries(
+        spec, SINGLE_QUERIES, rng
+    )
+
+    def single_queries():
+        for index in range(SINGLE_QUERIES):
+            oracle.violation_probability(
+                alphas[index], fractions[index], deltas[index], depths[index]
+            )
+
+    single_queries()  # warm-up
+    single_s, _ = _time(single_queries)
+    oracle_per_query = single_s / SINGLE_QUERIES
+
+    dp_samples = list(spec.combos())[:5]
+    dp_s, _ = _time(
+        lambda: [
+            settlement_violation_probability(
+                effective_probabilities(
+                    alpha, fraction, delta, spec.activity
+                ),
+                spec.depth_horizon,
+            )
+            for _, _, _, alpha, fraction, delta in dp_samples
+        ]
+    )
+    dp_per_query = dp_s / len(dp_samples)
+
+    columns = random_queries(spec, BATCH_QUERIES, rng)
+    oracle.violation_probabilities(*columns)  # warm-up
+    batch_s, _ = _time(oracle.violation_probabilities, *columns)
+
+    record = {
+        "artifact": str(ORACLE_ARTIFACT_DIR.name),
+        "cells": int(oracle.tables.forward.size),
+        "build_seconds": round(build_s, 4),
+        "rebuild_seconds": round(rebuild_s, 4),
+        "rebuild_noop": not rerun.rebuilt,
+        "mc_points": report.mc_points,
+        "mc_cached": report.mc_cached,
+        "dp_per_query_seconds": round(dp_per_query, 6),
+        "single_query_microseconds": round(oracle_per_query * 1e6, 2),
+        "per_query_speedup": round(dp_per_query / oracle_per_query, 1),
+        "batch_queries": BATCH_QUERIES,
+        "batch_seconds": round(batch_s, 4),
+        "batch_queries_per_second": round(BATCH_QUERIES / batch_s),
+    }
+    if report.mc_points and report.mc_cached == report.mc_points:
+        record["note"] = "warm cache: zero re-estimation"
+    return record
+
+
 def run_bench_suite(quick: bool) -> int:
     """Execute the pytest benchmark files (assertion mode, timings off)."""
     # bench_*.py does not match pytest's default python_files pattern, so
@@ -264,7 +366,8 @@ def run_bench_suite(quick: bool) -> int:
         ["bench_table1_settlement.py::test_table1_block_sweep",
          "bench_table1_settlement.py::test_table1_monte_carlo_grid",
          "bench_fig1_example_fork.py",
-         "bench_fig2_fig3_balanced.py"]
+         "bench_fig2_fig3_balanced.py",
+         "bench_oracle_throughput.py"]
         if quick
         else sorted(
             p.name
@@ -315,6 +418,7 @@ def main() -> int:
     record["protocol"] = protocol_record(args.quick, args.workers)
     record["protocol_sweep"] = protocol_sweep_record(args.quick, args.workers)
     record["sweep"] = sweep_record(args.quick, args.workers)
+    record["oracle"] = oracle_record(args.quick, args.workers)
     out = REPO_ROOT / "BENCH_engine.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
     for entry in record["results"]:
@@ -353,6 +457,16 @@ def main() -> int:
             f"{sweep['cache_hits']} cached, {sweep['cache_misses']} estimated"
             f"{detail})"
         )
+    oracle = record["oracle"]
+    print(
+        f"oracle '{oracle['artifact']}': {oracle['cells']} cells built in "
+        f"{oracle['build_seconds']}s, rebuild "
+        f"{'no-op' if oracle['rebuild_noop'] else 'RE-RAN'} in "
+        f"{oracle['rebuild_seconds']}s; single query "
+        f"{oracle['single_query_microseconds']}us "
+        f"({oracle['per_query_speedup']}x over the DP), batch "
+        f"{oracle['batch_queries_per_second']} queries/s"
+    )
     print(f"perf record written to {out}")
 
     # Quick mode times 10x fewer trials, so its measurements are noisier;
@@ -371,6 +485,26 @@ def main() -> int:
         print(
             f"FAIL: batched protocol execution below the "
             f"{protocol_floor}x floor ({protocol['speedup']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if not oracle["rebuild_noop"]:
+        print(
+            "FAIL: identical oracle rebuild re-ran instead of no-op",
+            file=sys.stderr,
+        )
+        return 1
+    if oracle["per_query_speedup"] < 100:
+        print(
+            "FAIL: oracle scalar query below the 100x-over-DP floor "
+            f"({oracle['per_query_speedup']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if oracle["batch_queries_per_second"] < 50_000:
+        print(
+            "FAIL: oracle batch path below the 50k queries/s floor "
+            f"({oracle['batch_queries_per_second']}/s)",
             file=sys.stderr,
         )
         return 1

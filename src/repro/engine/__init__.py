@@ -72,6 +72,7 @@ from repro.engine.sweeps import (
     grid_names,
     register_grid,
     run_grid,
+    select_points,
 )
 
 __all__ = [
@@ -110,5 +111,6 @@ __all__ = [
     "run_protocol_scalar",
     "run_scenario",
     "scenario_names",
+    "select_points",
     "settlement_violation",
 ]

@@ -48,9 +48,24 @@ __all__ = [
     "ResultCache",
     "cache_from_env",
     "estimator_token",
+    "format_stats",
     "scenario_fingerprint",
     "CACHE_DIR_ENV",
 ]
+
+
+def format_stats(stats: dict) -> str:
+    """One-line rendering of :meth:`ResultCache.stats` for run footers.
+
+    Shared by the sweep CLI and the oracle builder log so the two
+    surfaces cannot drift apart.
+    """
+    rate = stats["hit_rate"]
+    rendered = "n/a" if rate is None else f"{100.0 * rate:.1f}%"
+    return (
+        f"cache: {stats['hits']} hits / {stats['misses']} misses / "
+        f"{stats['stores']} stores ({rendered} hit rate)"
+    )
 
 #: Environment variable naming a cache directory; ``cache_from_env``
 #: (used by the benchmarks) returns a cache there when it is set.
@@ -195,6 +210,24 @@ class ResultCache:
             raise
         self.stores += 1
         return path
+
+    # -- statistics ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Traffic counters for this cache *instance* (not the directory).
+
+        ``hit_rate`` is over lookups (``get`` calls) only and ``None``
+        before the first lookup — orchestrators print it in their run
+        footers, so it must distinguish "no traffic" from "0% hits".
+        """
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "lookups": lookups,
+            "hit_rate": (self.hits / lookups) if lookups else None,
+        }
 
     @staticmethod
     def _load(path: pathlib.Path) -> dict | None:

@@ -54,10 +54,10 @@ def default_workers() -> int:
 class _ImmediateFuture:
     """A pre-resolved stand-in for ``concurrent.futures.Future``."""
 
-    def __init__(self, value: int) -> None:
+    def __init__(self, value) -> None:
         self._value = value
 
-    def result(self) -> int:
+    def result(self):
         return self._value
 
 
@@ -70,6 +70,16 @@ class SerialBackend:
     results are identical to :class:`ProcessBackend` by the seed-tree
     contract.
     """
+
+    def submit_task(self, function, /, *args) -> _ImmediateFuture:
+        """Evaluate an arbitrary pure task now; a resolved future.
+
+        The generic sibling of :meth:`submit_chunks` for deterministic
+        non-chunk work (the settlement-oracle builder ships exact-DP
+        cells through it).  The task must be a top-level callable with
+        picklable arguments so the same call works on a process pool.
+        """
+        return _ImmediateFuture(function(*args))
 
     def submit_chunks(
         self,
@@ -112,6 +122,17 @@ class ProcessBackend:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
+
+    def submit_task(self, function, /, *args) -> Future:
+        """Submit an arbitrary pure task to the pool; its future.
+
+        ``function`` must be a top-level (picklable) callable and the
+        task deterministic — results may be collected in any order.
+        Used by the settlement-oracle builder to fan independent
+        exact-DP cells across the same pool its Monte-Carlo sweeps run
+        on.
+        """
+        return self._pool().submit(function, *args)
 
     def submit_chunks(
         self,

@@ -33,6 +33,7 @@ The registered grids double as the CLI surface: ``python -m repro.sweep
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass
 
@@ -64,6 +65,7 @@ __all__ = [
     "grid_names",
     "register_grid",
     "run_grid",
+    "select_points",
 ]
 
 #: Axes resolved through ``from_adversarial_stake`` instead of a
@@ -194,12 +196,45 @@ class SweepGrid:
 # ----------------------------------------------------------------------
 
 
+def select_points(
+    grid: SweepGrid, points: list[SweepPoint], only: dict
+) -> list[SweepPoint]:
+    """Restrict expanded ``points`` to the ``only`` coordinate filter.
+
+    ``only`` maps axis names to collections of admitted values; a point
+    survives when every filtered axis takes one of its admitted values.
+    The filter runs *after* expansion, so surviving points keep the
+    ``index`` and ``seed`` they have in the full grid — a filtered
+    debugging run estimates exactly the same numbers (and hits exactly
+    the same cache entries) as the full run does for those points.
+
+    Unknown axis names and values that match no point are rejected —
+    both would otherwise silently filter everything away.
+    """
+    for name, values in only.items():
+        if name not in grid.axis_names:
+            known = ", ".join(grid.axis_names)
+            raise ValueError(f"unknown axis {name!r}; grid axes: {known}")
+        if not tuple(values):
+            raise ValueError(f"empty value filter for axis {name!r}")
+    selected = [
+        point
+        for point in points
+        if all(point.params[name] in values for name, values in only.items())
+    ]
+    if not selected:
+        raise ValueError(f"point filter {only!r} matches no grid point")
+    return selected
+
+
 def run_grid(
     grid: SweepGrid,
     trials: int | None = None,
     workers: int = 1,
     cache: ResultCache | None = None,
     backend: ProcessBackend | None = None,
+    seed: int | None = None,
+    only: dict | None = None,
 ) -> list[dict]:
     """Estimate every point of ``grid``; returns one tidy row per point.
 
@@ -212,14 +247,25 @@ def run_grid(
     whole grid (per-point estimates are bit-identical to a serial run —
     the runner's per-chunk seed tree does not depend on the backend).
     An already-open ``backend`` is reused and left running.
+
+    ``seed`` overrides the grid's base seed (point ``i`` then runs with
+    ``seed + i`` — a different seed is a different run and re-keys every
+    cache entry).  ``only`` restricts execution to a subset of points by
+    axis value (see :func:`select_points`); filtered runs keep the full
+    grid's per-point seeds, so their rows — and cache entries — agree
+    with the full run.
     """
     trials = grid.trials if trials is None else trials
+    if seed is not None:
+        grid = dataclasses.replace(grid, seed=seed)
     estimator = grid.resolve_estimator()
     owned = None
     if backend is None and workers > 1:
         owned = backend = ProcessBackend(workers)
     try:
         points = grid.points()
+        if only:
+            points = select_points(grid, points, only)
         runners = [
             ExperimentRunner(
                 point.scenario,

@@ -1,0 +1,65 @@
+"""Settlement oracle service — the repository's sixth layer.
+
+Everything below this package *computes* settlement numbers; this
+package *serves* them.  An offline builder
+(:mod:`repro.oracle.tables`) runs dense (α, uniquely-honest fraction,
+Δ, k) grids through the exact Section 6.6 DP — cross-validated by
+Monte-Carlo sweeps riding the engine's ``run_grid`` / ``ProcessBackend``
+/ ``ResultCache`` stack — into a versioned, content-fingerprinted,
+mmap-loadable artifact (:mod:`repro.oracle.store`).  The in-memory
+:class:`SettlementOracle` (:mod:`repro.oracle.service`) answers single
+and vectorized batch queries from that artifact: bit-identical to the
+DP at grid points, conservatively rounded (never optimistic) between
+them.  A stdlib HTTP server (:mod:`repro.oracle.server`) and the
+``python -m repro.oracle`` CLI (:mod:`repro.oracle.cli`) expose it to
+the network.
+
+See docs/ARCHITECTURE.md ("Layer 6") for the artifact-format contract.
+"""
+
+from repro.oracle.service import (
+    OracleDomainError,
+    SettlementOracle,
+    UNREACHABLE_DEPTH,
+)
+from repro.oracle.server import make_server, serve_forever
+from repro.oracle.store import (
+    FORMAT,
+    FORMAT_VERSION,
+    StoreError,
+    load_tables,
+    read_manifest,
+    save_tables,
+    spec_fingerprint,
+)
+from repro.oracle.tables import (
+    DEFAULT_SPEC,
+    TINY_SPEC,
+    BuildReport,
+    OracleSpec,
+    OracleTables,
+    build_tables,
+    effective_probabilities,
+)
+
+__all__ = [
+    "BuildReport",
+    "DEFAULT_SPEC",
+    "FORMAT",
+    "FORMAT_VERSION",
+    "OracleDomainError",
+    "OracleSpec",
+    "OracleTables",
+    "SettlementOracle",
+    "StoreError",
+    "TINY_SPEC",
+    "UNREACHABLE_DEPTH",
+    "build_tables",
+    "effective_probabilities",
+    "load_tables",
+    "make_server",
+    "read_manifest",
+    "save_tables",
+    "serve_forever",
+    "spec_fingerprint",
+]

@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.oracle`` (see :mod:`repro.oracle.cli`)."""
+
+from repro.oracle.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

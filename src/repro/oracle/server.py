@@ -1,0 +1,179 @@
+"""A stdlib JSON query server in front of :class:`SettlementOracle`.
+
+``ThreadingHTTPServer`` + ``BaseHTTPRequestHandler`` only — no
+third-party web framework.  The oracle itself is read-only shared state
+(mmap-backed NumPy arrays; every query is a pure ``searchsorted`` +
+gather), so concurrent handler threads need no locking.
+
+Endpoints::
+
+    GET  /healthz                        -> artifact summary (fingerprint,
+                                            axes, cell count)
+    GET  /v1/violation?alpha=&unique_fraction=&delta=&depth=
+                                         -> {"violation_probability": p,
+                                             "conservative": true}
+    GET  /v1/depth?alpha=&unique_fraction=&delta=&target=
+                                         -> {"depth": k | null}
+    POST /v1/violation   {"alpha": [...], "unique_fraction": [...],
+                          "delta": [...], "depth": [...]}
+                                         -> {"violation_probability": [...]}
+    POST /v1/depth       {"alpha": [...], "unique_fraction": [...],
+                          "delta": [...], "target": [...]}
+                                         -> {"depth": [...]}   (-1 =
+                                            unreachable at this horizon)
+
+Batch POST bodies are *columnar* (one array per coordinate) so the
+handler can feed them to the vectorized oracle methods unchanged — one
+NumPy gather answers the whole batch.  Out-of-hull queries return
+HTTP 400 with the oracle's conservative-hull message; clients that
+prefer saturation can pass ``"strict": false`` in the POST body.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.oracle.service import OracleDomainError, SettlementOracle
+
+__all__ = ["make_server", "serve_forever"]
+
+_SINGLE_PARAMS = {
+    "/v1/violation": ("alpha", "unique_fraction", "delta", "depth"),
+    "/v1/depth": ("alpha", "unique_fraction", "delta", "target"),
+}
+
+
+def _single_answer(
+    oracle: SettlementOracle, path: str, params: dict
+) -> dict:
+    names = _SINGLE_PARAMS[path]
+    values = []
+    for name in names:
+        raw = params.get(name)
+        if raw is None:
+            required = ", ".join(names)
+            raise ValueError(f"missing parameter {name!r} (need: {required})")
+        values.append(float(raw[0] if isinstance(raw, list) else raw))
+    alpha, fraction, delta, last = values
+    if path == "/v1/violation":
+        probability = oracle.violation_probability(
+            alpha, fraction, delta, last
+        )
+        return {"violation_probability": probability, "conservative": True}
+    depth = oracle.settlement_depth(alpha, fraction, delta, last)
+    return {"depth": depth, "conservative": True}
+
+
+def _batch_answer(oracle: SettlementOracle, path: str, body: dict) -> dict:
+    names = _SINGLE_PARAMS[path]
+    columns = []
+    for name in names:
+        column = body.get(name)
+        if not isinstance(column, list) or not column:
+            required = ", ".join(names)
+            raise ValueError(
+                f"batch body needs non-empty array {name!r} "
+                f"(columnar arrays: {required})"
+            )
+        columns.append(column)
+    if len({len(column) for column in columns}) != 1:
+        raise ValueError("batch columns must have equal lengths")
+    strict = bool(body.get("strict", True))
+    if path == "/v1/violation":
+        values = oracle.violation_probabilities(*columns, strict=strict)
+        return {"violation_probability": [float(v) for v in values]}
+    depths = oracle.settlement_depths(*columns, strict=strict)
+    return {"depth": [int(v) for v in depths]}
+
+
+def make_server(
+    oracle: SettlementOracle,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build (and bind, but do not start) the query server.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address[1]``.  ``quiet`` silences the per-request
+    stderr log lines (the default for tests and embedded use).
+    """
+
+    health = {"status": "ok", **oracle.describe()}
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _reply(self, code: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _guarded(self, answer) -> None:
+            try:
+                self._reply(200, answer())
+            except (OracleDomainError, ValueError) as error:
+                self._reply(400, {"error": str(error)})
+            except Exception as error:  # never kill the thread
+                self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            split = urlsplit(self.path)
+            if split.path == "/healthz":
+                self._reply(200, health)
+                return
+            if split.path in _SINGLE_PARAMS:
+                params = parse_qs(split.query)
+                self._guarded(
+                    lambda: _single_answer(oracle, split.path, params)
+                )
+                return
+            self._reply(404, {"error": f"unknown path {split.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            split = urlsplit(self.path)
+            if split.path not in _SINGLE_PARAMS:
+                self._reply(404, {"error": f"unknown path {split.path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = json.loads(self.rfile.read(length) or b"{}")
+                if not isinstance(body, dict):
+                    raise ValueError("batch body must be a JSON object")
+            except (ValueError, json.JSONDecodeError) as error:
+                self._reply(400, {"error": f"bad request body: {error}"})
+                return
+            self._guarded(lambda: _batch_answer(oracle, split.path, body))
+
+        def log_message(self, format, *args):  # noqa: A002
+            if not quiet:
+                BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+def serve_forever(
+    oracle: SettlementOracle,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = False,
+    announce=print,
+) -> None:
+    """Bind and serve until interrupted (the CLI ``serve`` verb)."""
+    server = make_server(oracle, host, port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    announce(
+        f"settlement oracle serving {oracle.describe()['cells']} cells "
+        f"on http://{bound_host}:{bound_port} (Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

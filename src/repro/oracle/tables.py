@@ -1,0 +1,493 @@
+"""Offline settlement-table builder (the oracle's layer-6 back end).
+
+The paper's operational question — *how deep must a block be before
+settlement fails with probability ≤ 10⁻ˣ?* — is a pure function of four
+coordinates: adversarial stake α, uniquely-honest fraction
+p_h / (1 − α), delay bound Δ, and confirmation depth k.  This module
+precomputes dense grids of answers so the query service
+(:mod:`repro.oracle.service`) can respond at memory speed:
+
+* ``forward``  — ``(α, fraction, Δ, k) → Pr[k-settlement violation]``,
+  one exact Section 6.6 DP run **per cell** so every stored value is
+  bit-identical to ``settlement_violation_probability`` at that cell
+  (a shared multi-checkpoint sweep differs in the last ulp because the
+  DP grid is sized by the largest checkpoint);
+* ``minimal_depth`` — ``(α, fraction, Δ, target) → min { k :
+  Pr[violation at k] ≤ target }``, read off one dense DP sweep to the
+  spec's depth horizon per (α, fraction, Δ) combination (sentinel
+  ``−1``: the target is not reachable within the horizon).
+
+Δ handling: the slot distribution is the active-slot composition
+``from_adversarial_stake(α, fraction)`` thinned to activity ``f``
+(:func:`effective_probabilities`), pushed through the Proposition 4
+reduction ``ρ_Δ`` — the same conservative surgery the Δ-synchronous
+analysis layer uses — so the synchronous DP applies verbatim.  Larger
+Δ, larger α, and smaller fraction all produce stochastically dominated
+strings, which is exactly the monotonicity the service's conservative
+rounding relies on (property-tested in
+``tests/analysis/test_monotonicity.py``).
+
+Cross-validation rides the sweep engine: every ``mc_depths`` cell is
+also Monte-Carlo estimated through :func:`repro.engine.sweeps.run_grid`
+— fanned across a :class:`~repro.engine.parallel.ProcessBackend` when
+``workers > 1`` and stored in a
+:class:`~repro.engine.cache.ResultCache` — and the estimate must agree
+with the exact DP within 6 standard errors.  A rebuild against a warm
+cache therefore re-*checks* everything while re-*estimating* nothing,
+and a rebuild into a directory whose manifest fingerprint matches the
+spec is a complete no-op (see :mod:`repro.oracle.store`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.exact import (
+    compute_settlement_probabilities,
+    settlement_violation_probability,
+)
+from repro.core.distributions import (
+    SlotProbabilities,
+    from_adversarial_stake,
+    semi_synchronous_condition,
+)
+from repro.delta.reduction import reduced_probabilities
+from repro.engine.cache import ResultCache, format_stats
+from repro.engine.parallel import ProcessBackend, SerialBackend
+from repro.engine.runner import Estimate
+from repro.engine.sweeps import SweepGrid, run_grid
+
+__all__ = [
+    "OracleSpec",
+    "OracleTables",
+    "BuildReport",
+    "DEFAULT_SPEC",
+    "TINY_SPEC",
+    "build_tables",
+    "effective_probabilities",
+]
+
+
+def effective_probabilities(
+    alpha: float,
+    unique_fraction: float,
+    delta: int,
+    activity: float = 1.0,
+) -> SlotProbabilities:
+    """The synchronous slot law a table cell's DP runs on.
+
+    The active-slot composition is the Table 1 parameterisation
+    (``p_A = α·f``, ``p_h = (1 − α)·fraction·f``, remainder multiply
+    honest); Δ > 0 pushes it through the Proposition 4 reduction, whose
+    output is again synchronous.  ``activity = 1`` (no empty slots)
+    short-circuits to ``from_adversarial_stake`` — bit-identical to the
+    Table 1 law, with Δ = 0 required.
+
+    Raises ``ValueError`` when the reduced law loses honest majority
+    (``p′_A ≥ 1/2``): the stationary initial-reach model X_∞ of the DP
+    does not exist there, so the cell cannot be tabulated — lower Δ or
+    the activity.
+    """
+    if activity >= 1.0:
+        if delta > 0:
+            raise ValueError(
+                "delta > 0 needs activity < 1 (the reduction relabels "
+                "every honest slot of a fully active string)"
+            )
+        return from_adversarial_stake(alpha, unique_fraction)
+    base = semi_synchronous_condition(
+        activity,
+        alpha * activity,
+        (1.0 - alpha) * unique_fraction * activity,
+    )
+    reduced = reduced_probabilities(base, delta)
+    if reduced.p_adversarial >= 0.5:
+        raise ValueError(
+            f"reduced law at alpha={alpha}, delta={delta}, "
+            f"activity={activity} has p'_A = {reduced.p_adversarial:.4f} "
+            ">= 1/2 (no honest majority, X_inf undefined); lower delta "
+            "or the activity"
+        )
+    return reduced
+
+
+@dataclass(frozen=True)
+class OracleSpec:
+    """The complete, fingerprintable description of one table build.
+
+    Axes must be strictly increasing (``targets`` strictly decreasing:
+    loosest first) so the artifact is canonical — two specs describing
+    the same grid serialize identically and fingerprint identically.
+    ``mc_trials = 0`` disables the Monte-Carlo cross-check; otherwise
+    every ``mc_depths ⊆ depths`` cell is validated.  All fields are part
+    of the artifact fingerprint (see :mod:`repro.oracle.store`).
+    """
+
+    alphas: tuple[float, ...]
+    unique_fractions: tuple[float, ...]
+    deltas: tuple[int, ...]
+    depths: tuple[int, ...]
+    targets: tuple[float, ...]
+    activity: float = 1.0
+    mc_depths: tuple[int, ...] = ()
+    mc_trials: int = 0
+    mc_seed: int = 2020
+    mc_chunk_size: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in ("alphas", "unique_fractions", "deltas", "depths"):
+            values = tuple(getattr(self, name))
+            object.__setattr__(self, name, values)
+            if not values:
+                raise ValueError(f"{name} must be non-empty")
+            if any(b <= a for a, b in zip(values, values[1:])):
+                raise ValueError(f"{name} must be strictly increasing")
+        targets = tuple(self.targets)
+        object.__setattr__(self, "targets", targets)
+        object.__setattr__(self, "mc_depths", tuple(self.mc_depths))
+        if not targets:
+            raise ValueError("targets must be non-empty")
+        if any(b >= a for a, b in zip(targets, targets[1:])):
+            raise ValueError("targets must be strictly decreasing")
+        if any(not 0.0 < t < 1.0 for t in targets):
+            raise ValueError("targets must lie in (0, 1)")
+        if any(not 0.0 <= a < 0.5 for a in self.alphas):
+            raise ValueError("alphas must lie in [0, 0.5)")
+        if any(not 0.0 <= f <= 1.0 for f in self.unique_fractions):
+            raise ValueError("unique_fractions must lie in [0, 1]")
+        if any(d < 0 for d in self.deltas):
+            raise ValueError("deltas must be non-negative")
+        if any(k < 1 for k in self.depths):
+            raise ValueError("depths must be positive")
+        if not 0.0 < self.activity <= 1.0:
+            raise ValueError("activity must lie in (0, 1]")
+        if self.activity >= 1.0 and any(d > 0 for d in self.deltas):
+            raise ValueError("deltas > 0 need activity < 1")
+        if self.mc_trials < 0:
+            raise ValueError("mc_trials must be non-negative")
+        if self.mc_trials and not self.mc_depths:
+            raise ValueError("mc_trials > 0 needs mc_depths")
+        if not set(self.mc_depths) <= set(self.depths):
+            raise ValueError("mc_depths must be a subset of depths")
+        # Every cell's slot law must exist (honest majority after the
+        # reduction) — fail at spec time, not mid-build.
+        for alpha in (self.alphas[-1],):
+            for delta in self.deltas:
+                effective_probabilities(
+                    alpha, self.unique_fractions[0], delta, self.activity
+                )
+
+    @property
+    def shape(self) -> tuple[int, int, int, int]:
+        """Forward-table shape ``(|α|, |fraction|, |Δ|, |k|)``."""
+        return (
+            len(self.alphas),
+            len(self.unique_fractions),
+            len(self.deltas),
+            len(self.depths),
+        )
+
+    @property
+    def depth_horizon(self) -> int:
+        """Largest depth the minimal-k search sweeps to."""
+        return max(self.depths)
+
+    def combos(self):
+        """Yield ``(i, j, l, alpha, fraction, delta)`` in index order."""
+        for i, alpha in enumerate(self.alphas):
+            for j, fraction in enumerate(self.unique_fractions):
+                for l, delta in enumerate(self.deltas):
+                    yield i, j, l, alpha, fraction, delta
+
+
+@dataclass(frozen=True)
+class OracleTables:
+    """The built tables: spec plus the two query arrays.
+
+    ``forward[i, j, l, m]`` is the exact violation probability at
+    ``(alphas[i], unique_fractions[j], deltas[l], depths[m])`` —
+    bit-identical to ``settlement_violation_probability`` on the cell's
+    effective law.  ``minimal_depth[i, j, l, n]`` is the smallest
+    integer k (≤ ``depth_horizon``) whose violation probability is
+    ≤ ``targets[n]``, or ``−1`` when no such k exists in the horizon.
+    """
+
+    spec: OracleSpec
+    forward: np.ndarray
+    minimal_depth: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = self.spec.shape
+        if tuple(self.forward.shape) != expected:
+            raise ValueError(
+                f"forward shape {self.forward.shape} != spec shape {expected}"
+            )
+        depth_shape = expected[:3] + (len(self.spec.targets),)
+        if tuple(self.minimal_depth.shape) != depth_shape:
+            raise ValueError(
+                f"minimal_depth shape {self.minimal_depth.shape} != "
+                f"{depth_shape}"
+            )
+
+    def cell_probabilities(
+        self, i: int, j: int, l: int
+    ) -> SlotProbabilities:
+        """The effective synchronous law of combo ``(i, j, l)``."""
+        return effective_probabilities(
+            self.spec.alphas[i],
+            self.spec.unique_fractions[j],
+            self.spec.deltas[l],
+            self.spec.activity,
+        )
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """What one :func:`build_tables` call did (or skipped)."""
+
+    tables: OracleTables
+    rebuilt: bool
+    seconds: float
+    dp_cells: int = 0
+    mc_points: int = 0
+    mc_cached: int = 0
+    cache_stats: dict | None = None
+    manifest_path: str | None = None
+
+
+# ----------------------------------------------------------------------
+# Build workers (top-level: shipped to ProcessBackend workers)
+# ----------------------------------------------------------------------
+
+
+def _forward_cell(probabilities: SlotProbabilities, depth: int) -> float:
+    """One forward cell: the per-k DP, the service's exactness anchor."""
+    return settlement_violation_probability(probabilities, depth)
+
+
+def _minimal_depth_row(
+    probabilities: SlotProbabilities,
+    horizon: int,
+    targets: tuple[float, ...],
+) -> list[int]:
+    """Minimal settling depth per target from one dense DP sweep."""
+    computation = compute_settlement_probabilities(
+        probabilities, list(range(1, horizon + 1))
+    )
+    row = []
+    search_from = 1
+    for target in targets:  # strictly decreasing: minimal k only grows
+        found = -1
+        for k in range(search_from, horizon + 1):
+            if computation[k] <= target:
+                found = k
+                break
+        row.append(found)
+        if found < 0:
+            row.extend([-1] * (len(targets) - len(row)))
+            break
+        search_from = found
+    return row
+
+
+# ----------------------------------------------------------------------
+# The builder
+# ----------------------------------------------------------------------
+
+
+def _mc_grid(
+    spec: OracleSpec, combo_index: int, probabilities: SlotProbabilities
+) -> SweepGrid:
+    """The per-combo Monte-Carlo validation grid (depth axis only)."""
+    return SweepGrid(
+        name=f"oracle-mc-{combo_index}",
+        base="iid-settlement",
+        axes=(("depth", spec.mc_depths),),
+        trials=spec.mc_trials,
+        seed=spec.mc_seed + combo_index * len(spec.mc_depths),
+        chunk_size=spec.mc_chunk_size,
+        overrides=(("probabilities", probabilities),),
+    )
+
+
+def build_tables(
+    spec: OracleSpec,
+    out_dir=None,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    force: bool = False,
+    log=None,
+) -> BuildReport:
+    """Build (or load) the settlement tables for ``spec``.
+
+    When ``out_dir`` already holds an artifact whose manifest
+    fingerprint matches ``spec`` (and ``force`` is false), the build is
+    a **no-op**: the artifact is loaded and returned with
+    ``rebuilt=False`` — nothing is recomputed, nothing rewritten.
+
+    Otherwise: forward cells run one exact DP each and minimal-depth
+    rows one dense DP sweep each — fanned across a shared
+    :class:`ProcessBackend` when ``workers > 1`` — then the
+    ``mc_depths`` cells are Monte-Carlo cross-checked through
+    :func:`run_grid` (same backend, optional ``cache``; a warm cache
+    serves every point with zero re-estimation) and must agree with the
+    DP within 6 standard errors.  The result is saved to ``out_dir``
+    when given.
+
+    ``log`` is an optional ``print``-like callable for build progress
+    (the CLI passes ``print``; the default is silent).
+    """
+    from repro.oracle import store  # local: store imports OracleTables
+
+    emit = log if log is not None else (lambda *_: None)
+    start = time.perf_counter()
+
+    if out_dir is not None and not force:
+        existing = store.read_manifest(out_dir)
+        if (
+            existing is not None
+            and existing.get("fingerprint") == store.spec_fingerprint(spec)
+        ):
+            tables = store.load_tables(out_dir)
+            emit(
+                f"oracle tables at {out_dir} already match spec fingerprint "
+                f"{existing['fingerprint'][:16]}...; rebuild is a no-op"
+            )
+            return BuildReport(
+                tables=tables,
+                rebuilt=False,
+                seconds=time.perf_counter() - start,
+                manifest_path=str(store.manifest_path(out_dir)),
+            )
+
+    laws = {
+        (i, j, l): effective_probabilities(
+            alpha, fraction, delta, spec.activity
+        )
+        for i, j, l, alpha, fraction, delta in spec.combos()
+    }
+    shape = spec.shape
+    forward = np.empty(shape, dtype=np.float64)
+    minimal = np.empty(shape[:3] + (len(spec.targets),), dtype=np.int64)
+
+    owned = None
+    backend = SerialBackend()
+    if workers > 1:
+        owned = backend = ProcessBackend(workers)
+    try:
+        emit(
+            f"building {forward.size} forward cells + {len(laws)} "
+            f"minimal-depth rows (exact DP, workers={workers})"
+        )
+        # Submit everything before collecting anything: on a process
+        # backend the DP cells pipeline across combo boundaries.
+        cell_futures = {
+            (i, j, l, m): backend.submit_task(
+                _forward_cell, law, spec.depths[m]
+            )
+            for (i, j, l), law in laws.items()
+            for m in range(len(spec.depths))
+        }
+        row_futures = {
+            (i, j, l): backend.submit_task(
+                _minimal_depth_row, law, spec.depth_horizon, spec.targets
+            )
+            for (i, j, l), law in laws.items()
+        }
+        for (i, j, l, m), future in cell_futures.items():
+            forward[i, j, l, m] = future.result()
+        for (i, j, l), future in row_futures.items():
+            minimal[i, j, l, :] = future.result()
+
+        mc_points = mc_cached = 0
+        if spec.mc_trials:
+            emit(
+                f"cross-validating {len(laws)} combos x "
+                f"{len(spec.mc_depths)} depths by Monte Carlo "
+                f"({spec.mc_trials} trials/point)"
+            )
+            depth_index = {k: m for m, k in enumerate(spec.depths)}
+            for combo_index, ((i, j, l), law) in enumerate(laws.items()):
+                rows = run_grid(
+                    _mc_grid(spec, combo_index, law),
+                    backend=backend if workers > 1 else None,
+                    cache=cache,
+                )
+                for row in rows:
+                    mc_points += 1
+                    mc_cached += bool(row["cached"])
+                    exact = forward[i, j, l, depth_index[row["depth"]]]
+                    estimate = Estimate(
+                        row["value"], row["standard_error"], row["trials"]
+                    )
+                    if not estimate.within(exact, sigmas=6.0):
+                        raise RuntimeError(
+                            "Monte-Carlo cross-check failed at "
+                            f"alpha={spec.alphas[i]}, "
+                            f"fraction={spec.unique_fractions[j]}, "
+                            f"delta={spec.deltas[l]}, k={row['depth']}: "
+                            f"MC {row['value']} +- "
+                            f"{row['standard_error']} vs DP {exact}"
+                        )
+    finally:
+        if owned is not None:
+            owned.close()
+
+    tables = OracleTables(spec=spec, forward=forward, minimal_depth=minimal)
+    stats = cache.stats() if cache is not None else None
+    if stats is not None:
+        emit(f"result {format_stats(stats)}")
+
+    manifest_path = None
+    if out_dir is not None:
+        manifest_path = str(store.save_tables(tables, out_dir))
+        emit(f"artifact written to {out_dir}")
+
+    return BuildReport(
+        tables=tables,
+        rebuilt=True,
+        seconds=time.perf_counter() - start,
+        dp_cells=int(forward.size) + len(laws),
+        mc_points=mc_points,
+        mc_cached=mc_cached,
+        cache_stats=stats,
+        manifest_path=manifest_path,
+    )
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+
+#: Production-shaped grid: Table 1's stake and uniqueness coordinates at
+#: a realistic activity (f = 0.05, the deployed Ouroboros value), delay
+#: bounds 0–4, depths to 200.  Builds in a couple of minutes serially;
+#: ``workers`` scales it down.
+DEFAULT_SPEC = OracleSpec(
+    alphas=(0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35),
+    unique_fractions=(0.25, 0.5, 0.8, 0.9, 1.0),
+    deltas=(0, 1, 2, 4),
+    depths=(10, 20, 30, 40, 60, 80, 100, 140, 200),
+    targets=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10),
+    activity=0.05,
+    mc_depths=(10, 20),
+    mc_trials=20_000,
+    mc_seed=2020,
+)
+
+#: CI / test / benchmark-sized grid: builds in seconds, still exercises
+#: every code path (reduction, both table directions, MC cross-check).
+TINY_SPEC = OracleSpec(
+    alphas=(0.10, 0.20, 0.30),
+    unique_fractions=(0.5, 1.0),
+    deltas=(0, 2),
+    depths=(5, 10, 20, 30),
+    targets=(1e-1, 1e-2, 1e-3),
+    activity=0.05,
+    mc_depths=(5, 10),
+    mc_trials=4_000,
+    mc_seed=2020,
+)

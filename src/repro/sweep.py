@@ -11,6 +11,14 @@ Examples::
     python -m repro.sweep table1 --workers 8     # Table 1 grid, 8 cores
     python -m repro.sweep delta --trials 5000 --out delta.json
     python -m repro.sweep stake --cache-dir .sweep-cache   # warm rerun: instant
+    python -m repro.sweep table1 --only alpha=0.1 --only depth=10,20
+    python -m repro.sweep stake --seed 777       # re-seed the whole grid
+
+Debugging subsets: ``--only axis=v1,v2`` (repeatable) restricts the run
+to the matching grid points *after* expansion, so each surviving point
+keeps the seed — and cache entry — it has in the full grid.  ``--seed``
+replaces the grid's base seed (a different seed is a different run and
+re-keys every point).
 
 Caching: pass ``--cache-dir`` (or set ``$REPRO_SWEEP_CACHE``) and every
 ``(scenario, estimator, seed, trials, chunk_size)`` point is stored
@@ -32,10 +40,49 @@ import json
 import sys
 import time
 
-from repro.engine.cache import ResultCache, cache_from_env
-from repro.engine.sweeps import get_grid, grid_names, run_grid
+from repro.engine.cache import ResultCache, cache_from_env, format_stats
+from repro.engine.sweeps import SweepGrid, get_grid, grid_names, run_grid
 
-__all__ = ["main", "format_table"]
+__all__ = ["main", "format_table", "parse_only"]
+
+
+def parse_only(grid: SweepGrid, specs: list[str]) -> dict:
+    """Parse repeated ``--only axis=v1,v2`` flags against ``grid``.
+
+    Each token is matched against the axis's *declared* values (so
+    ``0.1`` matches the float ``0.1``, ``10`` the int ``10``, and
+    ``adversarial`` a string axis value) — the CLI never guesses types.
+    Unknown axes or tokens matching no declared value are errors.
+    Repeating an axis unions its value lists.
+    """
+    declared = dict(grid.axes)
+    only: dict[str, list] = {}
+    for spec in specs:
+        axis, separator, rendered = spec.partition("=")
+        if not separator or not rendered:
+            raise ValueError(
+                f"--only expects axis=v1,v2, got {spec!r}"
+            )
+        if axis not in declared:
+            known = ", ".join(grid.axis_names)
+            raise ValueError(f"unknown axis {axis!r}; grid axes: {known}")
+        values = only.setdefault(axis, [])
+        for token in rendered.split(","):
+            matches = [
+                value
+                for value in declared[axis]
+                if str(value) == token or _cell(value) == token
+            ]
+            if not matches:
+                choices = ", ".join(_cell(v) for v in declared[axis])
+                raise ValueError(
+                    f"axis {axis!r} has no value {token!r}; "
+                    f"declared: {choices}"
+                )
+            values.extend(
+                value for value in matches if value not in values
+            )
+    return only
 
 
 def _cell(value) -> str:
@@ -108,6 +155,26 @@ def main(argv: list[str] | None = None) -> int:
         help="override the grid's per-point trial count",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "override the grid's base seed (point i runs with seed + i; "
+            "a different seed re-keys every cache entry)"
+        ),
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2",
+        help=(
+            "restrict the run to grid points whose AXIS takes one of the "
+            "listed values (repeatable; filtered points keep their "
+            "full-grid seeds and cache keys)"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="result-cache directory (default: $REPRO_SWEEP_CACHE if set)",
@@ -136,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
 
+    try:
+        only = parse_only(grid, args.only)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
     cache = None
     if not args.no_cache:
         cache = (
@@ -144,7 +217,12 @@ def main(argv: list[str] | None = None) -> int:
 
     start = time.perf_counter()
     rows = run_grid(
-        grid, trials=args.trials, workers=args.workers, cache=cache
+        grid,
+        trials=args.trials,
+        workers=args.workers,
+        cache=cache,
+        seed=args.seed,
+        only=only,
     )
     elapsed = time.perf_counter() - start
 
@@ -155,6 +233,8 @@ def main(argv: list[str] | None = None) -> int:
         f"(workers={args.workers}, {served} from cache)"
     )
     print(summary)
+    if cache is not None:
+        print(format_stats(cache.stats()))
 
     if args.out:
         with open(args.out, "w") as handle:

@@ -1,0 +1,127 @@
+"""Monotonicity of the exact settlement violation probability.
+
+These are the properties the settlement oracle's *conservative
+interpolation* rests on (see ``repro.oracle.service``): snapping a
+query coordinate toward the "worse" grid neighbour must never shrink
+the reported violation probability.  Property-tested over the Table 1
+coordinate grid (α × p_h/(1−α)) at DP-fast depths, plus the oracle's
+Δ axis through the Proposition 4 reduction.
+
+Each property is also the paper's stochastic-dominance intuition made
+checkable: raising α (or Δ) / lowering the uniquely-honest fraction
+moves the slot law down the Definition 6 partial order, and the
+violation event is monotone.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.exact import (
+    TABLE1_ALPHAS,
+    TABLE1_UNIQUE_FRACTIONS,
+    compute_settlement_probabilities,
+    settlement_violation_probability,
+)
+from repro.core.distributions import from_adversarial_stake
+from repro.oracle.tables import effective_probabilities
+
+#: DP-fast depth grid the k-monotonicity is checked densely on.
+DEPTHS = list(range(1, 41))
+#: Spot depths for the cross-parameter comparisons.
+SPOT_DEPTHS = (10, 25, 40)
+
+# Table 1's alpha = 0.01 column is numerically degenerate at these tiny
+# depths for the *strict* inequality variants (probabilities underflow
+# toward 0), but the non-strict properties must hold everywhere.
+GRID = [
+    (alpha, fraction)
+    for alpha in TABLE1_ALPHAS
+    for fraction in TABLE1_UNIQUE_FRACTIONS
+]
+
+
+def at_most(smaller: float, larger: float) -> bool:
+    """``smaller ≤ larger`` up to one-ulp float jitter.
+
+    The mathematical quantities are exactly monotone; the float64 DP
+    evaluates them with last-digit rounding, so adjacent values that
+    are *equal* in exact arithmetic can land one ulp apart in either
+    order (observed: 0.2 vs 0.19999999999999998 at α = 0.1, frac = 1).
+    The oracle's conservative rounding is therefore exact up to the
+    same one-ulp slack — which is also the slack the acceptance
+    spot-checks allow.
+    """
+    return smaller <= larger or math.isclose(
+        smaller, larger, rel_tol=1e-12, abs_tol=0.0
+    )
+
+
+@pytest.mark.parametrize("alpha,fraction", GRID)
+def test_violation_probability_non_increasing_in_depth(alpha, fraction):
+    """Deeper blocks never settle *less* reliably (oracle: k snaps down)."""
+    probabilities = from_adversarial_stake(alpha, fraction)
+    computation = compute_settlement_probabilities(probabilities, DEPTHS)
+    values = [computation[k] for k in DEPTHS]
+    for shallow, deep in zip(values, values[1:]):
+        assert at_most(deep, shallow)
+
+
+@pytest.mark.parametrize("fraction", TABLE1_UNIQUE_FRACTIONS)
+@pytest.mark.parametrize("depth", SPOT_DEPTHS)
+def test_violation_probability_non_decreasing_in_alpha(fraction, depth):
+    """More adversarial stake never helps (oracle: α snaps up)."""
+    values = [
+        settlement_violation_probability(
+            from_adversarial_stake(alpha, fraction), depth
+        )
+        for alpha in TABLE1_ALPHAS
+    ]
+    for weaker, stronger in zip(values, values[1:]):
+        assert at_most(weaker, stronger)
+
+
+@pytest.mark.parametrize("alpha", TABLE1_ALPHAS)
+@pytest.mark.parametrize("depth", SPOT_DEPTHS)
+def test_violation_probability_non_increasing_in_unique_fraction(alpha, depth):
+    """More uniquely honest slots never hurt (oracle: fraction snaps down).
+
+    TABLE1_UNIQUE_FRACTIONS is declared descending, so the violation
+    probability must be non-*decreasing* along it.
+    """
+    values = [
+        settlement_violation_probability(
+            from_adversarial_stake(alpha, fraction), depth
+        )
+        for fraction in TABLE1_UNIQUE_FRACTIONS
+    ]
+    for richer, poorer in zip(values, values[1:]):
+        assert at_most(richer, poorer)
+
+
+@pytest.mark.parametrize("alpha", (0.1, 0.2, 0.3))
+@pytest.mark.parametrize("depth", SPOT_DEPTHS)
+def test_violation_probability_non_decreasing_in_delta(alpha, depth):
+    """Longer delays never help (oracle: Δ snaps up).
+
+    Checked through the same activity-thinned Proposition 4 reduction
+    the oracle tabulates with.
+    """
+    values = [
+        settlement_violation_probability(
+            effective_probabilities(alpha, 0.9, delta, activity=0.05), depth
+        )
+        for delta in (0, 1, 2, 4)
+    ]
+    for faster, slower in zip(values, values[1:]):
+        assert at_most(faster, slower)
+
+
+@pytest.mark.parametrize("alpha,fraction", [(0.2, 0.9), (0.3, 0.5)])
+def test_strict_decay_where_resolvable(alpha, fraction):
+    """Away from underflow the k-decay is strict — the minimal-depth
+    table is well-defined (no plateaus to tie-break) on real grids."""
+    probabilities = from_adversarial_stake(alpha, fraction)
+    computation = compute_settlement_probabilities(probabilities, DEPTHS)
+    values = [computation[k] for k in DEPTHS]
+    assert all(b < a for a, b in zip(values, values[1:]))

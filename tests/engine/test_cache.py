@@ -61,6 +61,42 @@ class TestRoundTrip:
         assert reopened.hits == 1 and reopened.stores == 0
 
 
+class TestStats:
+    """The stats() satellite: counters the orchestrators' footers print."""
+
+    def test_fresh_cache_has_no_rate(self, cache):
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "lookups": 0,
+            "hit_rate": None,
+        }
+
+    def test_traffic_is_counted(self, cache):
+        runner = make_runner(cache)
+        runner.run(1_000, seed=5)  # miss + store
+        runner.run(1_000, seed=5)  # hit
+        runner.run(1_000, seed=6)  # miss + store
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["stores"] == 2
+        assert stats["lookups"] == 3
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_contains_does_not_count(self, cache):
+        runner = make_runner(cache)
+        estimate = runner.run(1_000, seed=5)
+        key = cache.key(
+            runner.scenario, runner.estimator, 5, 1_000, runner.chunk_size
+        )
+        assert cache.contains(key)
+        assert cache.stats()["lookups"] == 1  # only the run's miss
+        assert cache.get(key) == estimate
+        assert cache.stats()["hits"] == 1
+
+
 class TestInvalidation:
     """Any key component changes ⇒ miss."""
 

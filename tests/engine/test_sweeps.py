@@ -15,6 +15,7 @@ from repro.engine import (
     get_grid,
     grid_names,
     run_grid,
+    select_points,
 )
 
 
@@ -153,6 +154,105 @@ class TestRunGrid:
         run_grid(self.GRID, cache=cache)
         rerun = run_grid(self.GRID, trials=2_001, cache=cache)
         assert all(not row["cached"] for row in rerun)
+
+
+class TestSeedAndOnly:
+    """The sweep-CLI debugging satellites: --seed and --only."""
+
+    GRID = SweepGrid(
+        name="t-filter",
+        base="iid-settlement",
+        axes=(("alpha", (0.1, 0.2)), ("depth", (8, 12))),
+        trials=1_000,
+        seed=400,
+        chunk_size=256,
+    )
+
+    def test_select_points_keeps_full_grid_seeds(self):
+        points = self.GRID.points()
+        selected = select_points(self.GRID, points, {"depth": (12,)})
+        assert [p.params for p in selected] == [
+            {"alpha": 0.1, "depth": 12},
+            {"alpha": 0.2, "depth": 12},
+        ]
+        assert [p.seed for p in selected] == [401, 403]  # not 400, 401
+
+    def test_select_points_rejects_unknown_axis(self):
+        points = self.GRID.points()
+        with pytest.raises(ValueError, match="unknown axis"):
+            select_points(self.GRID, points, {"gamma": (1,)})
+        with pytest.raises(ValueError, match="matches no grid point"):
+            select_points(self.GRID, points, {"depth": (99,)})
+
+    def test_run_grid_only_rows_match_full_run(self):
+        full = run_grid(self.GRID)
+        filtered = run_grid(self.GRID, only={"depth": (12,)})
+        assert filtered == [row for row in full if row["depth"] == 12]
+
+    def test_run_grid_only_hits_full_run_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_grid(self.GRID, cache=cache)
+        filtered = run_grid(self.GRID, cache=cache, only={"alpha": (0.2,)})
+        assert all(row["cached"] for row in filtered)
+
+    def test_run_grid_seed_override_reseeds_points(self):
+        rows = run_grid(self.GRID, seed=900)
+        assert [row["seed"] for row in rows] == [900, 901, 902, 903]
+        assert run_grid(self.GRID, seed=900) == rows
+
+    def test_cli_only_and_seed(self, capsys, tmp_path):
+        code = sweep_cli.main(
+            [
+                "table1",
+                "--trials",
+                "300",
+                "--seed",
+                "77",
+                "--only",
+                "alpha=0.1",
+                "--only",
+                "depth=10,20",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 points" in out  # 1 alpha x 3 fractions x 2 depths
+        assert "cache: 0 hits / 6 misses / 6 stores" in out
+
+        # Same filtered rerun: all six points served from cache.
+        sweep_cli.main(
+            [
+                "table1",
+                "--trials",
+                "300",
+                "--seed",
+                "77",
+                "--only",
+                "alpha=0.1",
+                "--only",
+                "depth=10,20",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "6 from cache" in out
+        assert "cache: 6 hits / 0 misses / 0 stores (100.0% hit rate)" in out
+
+    def test_cli_rejects_bad_only(self, capsys):
+        assert sweep_cli.main(["table1", "--only", "nope=1"]) == 2
+        assert "unknown axis" in capsys.readouterr().err
+        assert sweep_cli.main(["table1", "--only", "alpha=0.77"]) == 2
+        assert "no value" in capsys.readouterr().err
+        assert sweep_cli.main(["table1", "--only", "alpha"]) == 2
+        assert "axis=v1,v2" in capsys.readouterr().err
+
+    def test_parse_only_matches_string_axes(self):
+        grid = get_grid("protocol")
+        only = sweep_cli.parse_only(grid, ["tie_break=adversarial"])
+        assert only == {"tie_break": ["adversarial"]}
 
 
 class TestBuiltinGrids:

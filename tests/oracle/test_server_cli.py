@@ -1,0 +1,238 @@
+"""HTTP server round-trips and the ``python -m repro.oracle`` CLI."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis.exact import settlement_violation_probability
+from repro.oracle import cli
+from repro.oracle.server import make_server
+from repro.oracle.service import SettlementOracle
+from repro.oracle.store import save_tables
+from repro.oracle.tables import (
+    OracleSpec,
+    build_tables,
+    effective_probabilities,
+)
+
+SPEC = OracleSpec(
+    alphas=(0.1, 0.2),
+    unique_fractions=(0.5, 1.0),
+    deltas=(0, 2),
+    depths=(5, 10),
+    targets=(1e-1, 1e-2),
+    activity=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return build_tables(SPEC).tables
+
+
+@pytest.fixture(scope="module")
+def endpoint(tables):
+    server = make_server(SettlementOracle(tables), port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _post(url, body):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+class TestServer:
+    def test_healthz(self, endpoint):
+        health = _get(f"{endpoint}/healthz")
+        assert health["status"] == "ok"
+        assert health["cells"] == 2 * 2 * 2 * 2
+        assert len(health["fingerprint"]) == 64
+
+    def test_single_violation_matches_dp(self, endpoint):
+        answer = _get(
+            f"{endpoint}/v1/violation"
+            "?alpha=0.2&unique_fraction=1.0&delta=0&depth=10"
+        )
+        law = effective_probabilities(0.2, 1.0, 0, SPEC.activity)
+        assert answer["violation_probability"] == (
+            settlement_violation_probability(law, 10)
+        )
+
+    def test_single_depth(self, endpoint, tables):
+        answer = _get(
+            f"{endpoint}/v1/depth"
+            "?alpha=0.1&unique_fraction=1.0&delta=0&target=0.1"
+        )
+        assert answer["depth"] == int(tables.minimal_depth[0, 1, 0, 0])
+
+    def test_batch_violation(self, endpoint):
+        answer = _post(
+            f"{endpoint}/v1/violation",
+            {
+                "alpha": [0.1, 0.2],
+                "unique_fraction": [1.0, 0.5],
+                "delta": [0, 2],
+                "depth": [5, 10],
+            },
+        )
+        assert len(answer["violation_probability"]) == 2
+        assert all(0 <= p <= 1 for p in answer["violation_probability"])
+
+    def test_batch_depth_with_sentinel(self, endpoint):
+        answer = _post(
+            f"{endpoint}/v1/depth",
+            {
+                "alpha": [0.1],
+                "unique_fraction": [1.0],
+                "delta": [0],
+                "target": [0.1],
+            },
+        )
+        assert isinstance(answer["depth"][0], int)
+
+    def test_out_of_hull_is_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(
+                f"{endpoint}/v1/violation"
+                "?alpha=0.49&unique_fraction=1.0&delta=0&depth=10"
+            )
+        assert excinfo.value.code == 400
+        assert "conservative hull" in json.loads(excinfo.value.read())["error"]
+
+    def test_missing_parameter_is_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{endpoint}/v1/violation?alpha=0.1")
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{endpoint}/v2/nothing")
+        assert excinfo.value.code == 404
+
+    def test_malformed_batch_is_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{endpoint}/v1/violation", {"alpha": [0.1]})
+        assert excinfo.value.code == 400
+
+
+class TestCli:
+    def test_build_query_info_round_trip(self, tmp_path, capsys):
+        artifact = tmp_path / "artifact"
+        code = cli.main(
+            [
+                "build",
+                "--out",
+                str(artifact),
+                "--preset",
+                "tiny",
+                "--alphas",
+                "0.1,0.2",
+                "--fractions",
+                "0.5,1.0",
+                "--deltas",
+                "0,2",
+                "--depths",
+                "5,10",
+                "--targets",
+                "0.1,0.01",
+                "--mc-trials",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "built" in capsys.readouterr().out
+
+        assert cli.main(["info", str(artifact)]) == 0
+        described = json.loads(capsys.readouterr().out)
+        assert described["alphas"] == [0.1, 0.2]
+
+        assert (
+            cli.main(
+                [
+                    "query",
+                    str(artifact),
+                    "--alpha",
+                    "0.2",
+                    "--fraction",
+                    "1.0",
+                    "--delta",
+                    "0",
+                    "--depth",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        answer = json.loads(capsys.readouterr().out)
+        law = effective_probabilities(0.2, 1.0, 0, 0.05)
+        assert answer["violation_probability"] == (
+            settlement_violation_probability(law, 10)
+        )
+
+        # Identical rebuild: no-op.
+        assert (
+            cli.main(
+                [
+                    "build",
+                    "--out",
+                    str(artifact),
+                    "--preset",
+                    "tiny",
+                    "--alphas",
+                    "0.1,0.2",
+                    "--fractions",
+                    "0.5,1.0",
+                    "--deltas",
+                    "0,2",
+                    "--depths",
+                    "5,10",
+                    "--targets",
+                    "0.1,0.01",
+                    "--mc-trials",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        assert "no-op" in capsys.readouterr().out
+
+    def test_query_needs_exactly_one_direction(self, tables, tmp_path, capsys):
+        artifact = tmp_path / "artifact"
+        save_tables(tables, artifact)
+        code = cli.main(
+            [
+                "query",
+                str(artifact),
+                "--alpha",
+                "0.1",
+                "--fraction",
+                "1.0",
+                "--delta",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_info_on_missing_artifact(self, tmp_path, capsys):
+        assert cli.main(["info", str(tmp_path / "missing")]) == 2
+        assert "artifact" in capsys.readouterr().err

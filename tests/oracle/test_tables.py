@@ -1,0 +1,148 @@
+"""OracleSpec validation, effective laws, and the table builder."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import settlement_violation_probability
+from repro.core.distributions import from_adversarial_stake
+from repro.engine.cache import ResultCache
+from repro.oracle.tables import (
+    OracleSpec,
+    OracleTables,
+    build_tables,
+    effective_probabilities,
+)
+
+SPEC = OracleSpec(
+    alphas=(0.1, 0.3),
+    unique_fractions=(0.5, 1.0),
+    deltas=(0, 2),
+    depths=(4, 8, 16),
+    targets=(1e-1, 1e-2),
+    activity=0.05,
+)
+
+MC_SPEC = dataclasses.replace(
+    SPEC, mc_depths=(4, 8), mc_trials=2_000, mc_seed=909
+)
+
+
+class TestSpecValidation:
+    def test_axes_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            dataclasses.replace(SPEC, alphas=(0.3, 0.1))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            dataclasses.replace(SPEC, depths=(8, 8))
+
+    def test_targets_must_decrease(self):
+        with pytest.raises(ValueError, match="strictly decreasing"):
+            dataclasses.replace(SPEC, targets=(1e-2, 1e-1))
+
+    def test_delta_needs_activity(self):
+        with pytest.raises(ValueError, match="activity"):
+            dataclasses.replace(SPEC, activity=1.0)
+
+    def test_mc_depths_subset(self):
+        with pytest.raises(ValueError, match="subset"):
+            dataclasses.replace(MC_SPEC, mc_depths=(4, 9))
+
+    def test_mc_trials_need_depths(self):
+        with pytest.raises(ValueError, match="mc_depths"):
+            dataclasses.replace(SPEC, mc_trials=100)
+
+    def test_reduced_law_must_keep_honest_majority(self):
+        # High delta at low activity pushes p'_A past 1/2.
+        with pytest.raises(ValueError, match="honest majority"):
+            dataclasses.replace(SPEC, deltas=(0, 40), alphas=(0.1, 0.45))
+
+
+class TestEffectiveProbabilities:
+    def test_synchronous_matches_table1_law(self):
+        assert effective_probabilities(0.2, 0.8, 0) == from_adversarial_stake(
+            0.2, 0.8
+        )
+
+    def test_delta_zero_with_activity_deletes_empties(self):
+        law = effective_probabilities(0.2, 0.8, 0, activity=0.05)
+        assert law.p_empty == 0.0
+        assert law.p_adversarial == pytest.approx(0.2)
+        assert law.p_unique == pytest.approx(0.8 * 0.8)
+
+    def test_delta_strengthens_adversary(self):
+        flat = effective_probabilities(0.2, 0.8, 0, activity=0.05)
+        slow = effective_probabilities(0.2, 0.8, 2, activity=0.05)
+        assert slow.p_adversarial > flat.p_adversarial
+        assert slow.p_unique < flat.p_unique
+
+    def test_fully_active_delta_rejected(self):
+        with pytest.raises(ValueError, match="activity"):
+            effective_probabilities(0.2, 0.8, 1, activity=1.0)
+
+
+class TestBuild:
+    def test_forward_cells_bit_identical_to_per_depth_dp(self):
+        tables = build_tables(SPEC).tables
+        for i, j, l, alpha, fraction, delta in SPEC.combos():
+            law = effective_probabilities(alpha, fraction, delta, SPEC.activity)
+            for m, k in enumerate(SPEC.depths):
+                assert tables.forward[i, j, l, m] == (
+                    settlement_violation_probability(law, k)
+                )
+
+    def test_minimal_depth_consistent_with_forward(self):
+        tables = build_tables(SPEC).tables
+        for i, j, l, alpha, fraction, delta in SPEC.combos():
+            law = effective_probabilities(alpha, fraction, delta, SPEC.activity)
+            for n, target in enumerate(SPEC.targets):
+                k = int(tables.minimal_depth[i, j, l, n])
+                if k < 0:
+                    # Unreachable: even the horizon depth stays above.
+                    assert (
+                        settlement_violation_probability(
+                            law, SPEC.depth_horizon
+                        )
+                        > target
+                    )
+                    continue
+                assert settlement_violation_probability(law, k) <= target
+                if k > 1:
+                    assert (
+                        settlement_violation_probability(law, k - 1) > target
+                    )
+
+    def test_minimal_depth_monotone_in_target(self):
+        tables = build_tables(SPEC).tables
+        minimal = tables.minimal_depth
+        reachable = minimal >= 0
+        # Stricter target (later index) never needs a shallower block.
+        first, second = minimal[..., 0], minimal[..., 1]
+        both = reachable[..., 0] & reachable[..., 1]
+        assert np.all(second[both] >= first[both])
+        # A reachable strict target implies the looser one is reachable.
+        assert np.all(reachable[..., 0] | ~reachable[..., 1])
+
+    def test_mc_cross_check_runs_and_caches(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        report = build_tables(MC_SPEC, cache=cache)
+        assert report.mc_points == len(list(MC_SPEC.combos())) * 2
+        assert report.mc_cached == 0
+        rerun = build_tables(MC_SPEC, cache=cache)
+        assert rerun.mc_cached == rerun.mc_points  # zero re-estimation
+        assert np.array_equal(report.tables.forward, rerun.tables.forward)
+
+    def test_workers_do_not_change_tables(self):
+        serial = build_tables(SPEC).tables
+        parallel = build_tables(SPEC, workers=2).tables
+        assert np.array_equal(serial.forward, parallel.forward)
+        assert np.array_equal(serial.minimal_depth, parallel.minimal_depth)
+
+    def test_tables_shape_validation(self):
+        tables = build_tables(SPEC).tables
+        with pytest.raises(ValueError, match="shape"):
+            OracleTables(
+                spec=SPEC,
+                forward=tables.forward[..., :-1],
+                minimal_depth=tables.minimal_depth,
+            )

@@ -1,6 +1,6 @@
 """Run the benchmark suite and record the engine performance baseline.
 
-Five jobs:
+Six jobs:
 
 1. measure scalar-vs-batched throughput of the Monte-Carlo estimators
    (the batched-engine acceptance point: >= 10x on
@@ -17,12 +17,16 @@ Five jobs:
    .sweep-cache/, recording wall-clock, cache traffic, and — on a cold
    cache — the parallel-over-serial speedup.  A warm-cache rerun does
    ZERO re-estimation: every point is served from the cache;
-4. build the tiny settlement-oracle artifact (MC cross-check through
-   the shared cache), assert an identical rebuild is a no-op, and
-   measure both query paths against recomputing the exact DP per query
-   (floors: scalar >= 100x the DP, batch >= 50k queries/s) — the
+4. run the Table-1 grid adaptively against the fixed budget — the
+   "adaptive" record: >= 3x fewer total trials at equal-or-better max
+   standard error, and a trials bump on the warm chunk ledger must
+   re-sample only the new chunks (the prefix property);
+5. build the tiny settlement-oracle artifact (adaptive MC cross-check
+   through the shared cache), assert an identical rebuild is a no-op,
+   and measure both query paths against recomputing the exact DP per
+   query (floors: scalar >= 100x the DP, batch >= 50k queries/s) — the
    "oracle" record;
-5. optionally execute the pytest benchmark suite (skipped with
+6. optionally execute the pytest benchmark suite (skipped with
    --perf-only; shrunk with --quick for CI).  The suite inherits the
    cache via $REPRO_SWEEP_CACHE, so its sweep-driven benches also skip
    already-computed points.
@@ -39,11 +43,13 @@ Usage:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import pathlib
 import subprocess
 import sys
+import tempfile
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -271,6 +277,84 @@ def sweep_record(quick: bool, workers: int) -> dict:
     return record
 
 
+def adaptive_record(quick: bool, workers: int) -> dict:
+    """Adaptive precision targeting vs the fixed budget (the PR 5 point).
+
+    Runs the Table-1 grid twice over a fresh chunk ledger: once with
+    the fixed per-point budget, once adaptively with ``target_se`` set
+    to the fixed run's *worst* standard error.  The adaptive run must
+    reach equal-or-better max standard error while spending >= 3x fewer
+    total trials (easy cells stop after their first waves; only the
+    rare/hard cells run deep) — asserted by main().  A trials bump on
+    the warm ledger is then asserted to re-sample only the new chunks:
+    every old full chunk is served from the ledger bit-identically.
+
+    The ledger lives in a throwaway directory (not .sweep-cache) so the
+    cold-run arithmetic is deterministic even when the shared cache is
+    already warm from an earlier invocation.
+    """
+    grid = dataclasses.replace(
+        get_grid("table1"), name="table1-adaptive", chunk_size=256
+    )
+    trials = grid.trials // (10 if quick else 1)
+
+    with tempfile.TemporaryDirectory(prefix="repro-ledger-") as ledger_dir:
+        cache = ResultCache(ledger_dir)
+        fixed_s, fixed = _time(
+            run_grid, grid, trials=trials, workers=workers, cache=cache
+        )
+        target_se = max(row["standard_error"] for row in fixed)
+        adaptive_s, adaptive = _time(
+            run_grid,
+            grid,
+            trials=trials,
+            workers=workers,
+            cache=cache,
+            target_se=target_se,
+        )
+        fixed_total = sum(row["trials"] for row in fixed)
+        adaptive_total = sum(row["trials"] for row in adaptive)
+        adaptive_max_se = max(row["standard_error"] for row in adaptive)
+        # The adaptive pass ran over the fixed run's warm ledger, so its
+        # chunk waves were served without sampling wherever they overlap.
+        adaptive_sampled = sum(row["sampled_trials"] for row in adaptive)
+
+        # Warm-ledger extension: bump the fixed budget and check that
+        # only the new chunks are sampled (the prefix property).
+        bump_cache = ResultCache(ledger_dir)
+        bump_trials = 2 * trials
+        _, bumped = _time(
+            run_grid,
+            grid,
+            trials=bump_trials,
+            workers=workers,
+            cache=bump_cache,
+        )
+        old_full = (trials // grid.chunk_size) * grid.chunk_size
+        extension_ok = all(
+            row["reused_trials"] >= old_full
+            and row["sampled_trials"] <= bump_trials - old_full
+            for row in bumped
+        )
+
+    return {
+        "grid": grid.name,
+        "points": len(fixed),
+        "chunk_size": grid.chunk_size,
+        "fixed_trials_per_point": trials,
+        "fixed_total_trials": fixed_total,
+        "fixed_seconds": round(fixed_s, 4),
+        "target_se": target_se,
+        "adaptive_total_trials": adaptive_total,
+        "adaptive_seconds": round(adaptive_s, 4),
+        "adaptive_max_se": adaptive_max_se,
+        "adaptive_sampled_trials": adaptive_sampled,
+        "trials_ratio": round(fixed_total / adaptive_total, 2),
+        "se_no_worse": adaptive_max_se <= target_se,
+        "warm_extension_resamples_only_new_chunks": extension_ok,
+    }
+
+
 def oracle_record(quick: bool, workers: int) -> dict:
     """The settlement-oracle record (E11): build, no-op rebuild, QPS.
 
@@ -418,6 +502,7 @@ def main() -> int:
     record["protocol"] = protocol_record(args.quick, args.workers)
     record["protocol_sweep"] = protocol_sweep_record(args.quick, args.workers)
     record["sweep"] = sweep_record(args.quick, args.workers)
+    record["adaptive"] = adaptive_record(args.quick, args.workers)
     record["oracle"] = oracle_record(args.quick, args.workers)
     out = REPO_ROOT / "BENCH_engine.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
@@ -457,6 +542,17 @@ def main() -> int:
             f"{sweep['cache_hits']} cached, {sweep['cache_misses']} estimated"
             f"{detail})"
         )
+    adaptive = record["adaptive"]
+    print(
+        f"adaptive '{adaptive['grid']}': fixed "
+        f"{adaptive['fixed_total_trials']} trials vs adaptive "
+        f"{adaptive['adaptive_total_trials']} "
+        f"({adaptive['trials_ratio']}x fewer) at max SE "
+        f"{adaptive['adaptive_max_se']:.2g} <= target "
+        f"{adaptive['target_se']:.2g}; warm trials bump re-sampled "
+        f"{'only new' if adaptive['warm_extension_resamples_only_new_chunks'] else 'OLD'}"
+        " chunks"
+    )
     oracle = record["oracle"]
     print(
         f"oracle '{oracle['artifact']}': {oracle['cells']} cells built in "
@@ -485,6 +581,27 @@ def main() -> int:
         print(
             f"FAIL: batched protocol execution below the "
             f"{protocol_floor}x floor ({protocol['speedup']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if adaptive["trials_ratio"] < 3:
+        print(
+            "FAIL: adaptive runs below the 3x trial-savings floor "
+            f"({adaptive['trials_ratio']}x at equal-or-better max SE)",
+            file=sys.stderr,
+        )
+        return 1
+    if not adaptive["se_no_worse"]:
+        print(
+            "FAIL: adaptive max standard error exceeds the fixed run's "
+            f"({adaptive['adaptive_max_se']} > {adaptive['target_se']})",
+            file=sys.stderr,
+        )
+        return 1
+    if not adaptive["warm_extension_resamples_only_new_chunks"]:
+        print(
+            "FAIL: warm-ledger trials bump re-sampled previously "
+            "ledgered chunks",
             file=sys.stderr,
         )
         return 1

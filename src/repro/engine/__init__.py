@@ -45,6 +45,7 @@ from repro.engine.runner import (
     ExperimentRunner,
     NoConsecutiveCatalanInWindow,
     NoUniqueCatalanInWindow,
+    RunReport,
     chunk_sizes,
     delta_settlement_violation,
     estimate_from_hits,
@@ -55,7 +56,12 @@ from repro.engine.runner import (
     settlement_violation,
 )
 from repro.engine.cache import ResultCache, cache_from_env
-from repro.engine.parallel import ProcessBackend, default_workers
+from repro.engine.parallel import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    default_workers,
+)
 from repro.engine.protocol import (
     ProtocolBatch,
     ProtocolRunner,
@@ -76,6 +82,7 @@ from repro.engine.sweeps import (
 )
 
 __all__ = [
+    "Backend",
     "Batch",
     "Estimate",
     "ExperimentRunner",
@@ -86,7 +93,9 @@ __all__ = [
     "NoUniqueCatalanInWindow",
     "ProcessBackend",
     "ResultCache",
+    "RunReport",
     "Scenario",
+    "SerialBackend",
     "SweepGrid",
     "SweepPoint",
     "adversarial_stake_sweep",

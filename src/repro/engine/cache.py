@@ -1,13 +1,28 @@
-"""Content-addressed on-disk cache for Monte-Carlo estimates.
+"""Content-addressed on-disk cache for Monte-Carlo estimates and chunks.
 
-Every point a sweep (or a benchmark, or an example) estimates is fully
-determined by five values: the frozen :class:`~repro.engine.scenarios.
-Scenario`, the estimator, the integer seed, the trial count, and the
-chunk size (which fixes the spawned seed tree — see the
-:mod:`repro.engine.runner` reproducibility contract).  This module turns
-that 5-tuple into a canonical JSON *key*, addresses it by its SHA-256
-digest, and stores the resulting :class:`~repro.engine.runner.Estimate`
-as one small JSON file per point.
+The cache has two granularities:
+
+* **Estimate entries** — a whole run.  Every point a sweep (or a
+  benchmark, or an example) estimates is fully determined by five
+  values: the frozen :class:`~repro.engine.scenarios.Scenario`, the
+  estimator, the integer seed, the trial count, and the chunk size
+  (which fixes the spawned seed tree — see the
+  :mod:`repro.engine.runner` reproducibility contract).  This module
+  turns that 5-tuple into a canonical JSON *key*, addresses it by its
+  SHA-256 digest, and stores the resulting
+  :class:`~repro.engine.runner.Estimate` as one small JSON file per
+  point.
+* **The chunk ledger** — per-chunk hit counts, keyed by
+  ``(scenario, estimator, seed, chunk_size)`` with one integer per
+  *full* chunk index.  Because the runner's spawned ``SeedSequence``
+  children form a prefix-stable stream (chunk ``i`` is seeded by
+  ``SeedSequence(seed, spawn_key=(i,))`` regardless of how many chunks
+  a run needs), ``trials`` is merely a *prefix length* of the chunk
+  stream: extending a run reuses every previously computed full chunk
+  bit-identically, and only the new chunks (plus the never-ledgered
+  ragged remainder) are sampled.  One ledger file holds all chunks of a
+  run configuration; the runner merges new chunks in as it computes
+  them.
 
 Invalidation rule: **any key component changes ⇒ miss.**  There is no
 TTL, no versioning, no partial matching — a cache entry is exactly the
@@ -21,14 +36,19 @@ their qualified class name plus field values.  Lambdas and closures have
 no stable identity and are rejected — give the estimator a name (a
 ``def`` or a frozen dataclass) to make it cacheable.
 
-Layout: ``<directory>/<sha256-prefix>.json``, each file carrying both
-the human-readable key and the estimate, so a cache directory doubles as
-a tidy record of every point ever computed::
+Layout: ``<directory>/<sha256-prefix>.json`` per estimate and
+``<directory>/<sha256-prefix>.ledger.json`` per chunk ledger, each file
+carrying both the human-readable key and the payload, so a cache
+directory doubles as a tidy record of every point ever computed::
 
     {"key": {"scenario": {...}, "estimator": "...", "seed": 7,
              "trials": 100000, "chunk_size": 4096},
      "estimate": {"value": 0.0123, "standard_error": 0.00035,
                   "trials": 100000}}
+
+    {"key": {"kind": "chunk-ledger", "scenario": {...},
+             "estimator": "...", "seed": 7, "chunk_size": 4096},
+     "chunks": {"0": 51, "1": 47, "2": 55}}
 """
 
 from __future__ import annotations
@@ -37,6 +57,7 @@ import contextlib
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import pathlib
 import tempfile
@@ -58,13 +79,18 @@ def format_stats(stats: dict) -> str:
     """One-line rendering of :meth:`ResultCache.stats` for run footers.
 
     Shared by the sweep CLI and the oracle builder log so the two
-    surfaces cannot drift apart.
+    surfaces cannot drift apart.  Chunk-ledger traffic is appended so a
+    trials-extension run can show *how much* of its sampling was served
+    from previously ledgered chunks.
     """
     rate = stats["hit_rate"]
     rendered = "n/a" if rate is None else f"{100.0 * rate:.1f}%"
     return (
         f"cache: {stats['hits']} hits / {stats['misses']} misses / "
-        f"{stats['stores']} stores ({rendered} hit rate)"
+        f"{stats['stores']} stores ({rendered} hit rate); "
+        f"ledger: {stats['chunk_hits']} chunk hits / "
+        f"{stats['chunk_misses']} chunk misses / "
+        f"{stats['chunk_stores']} chunk stores"
     )
 
 #: Environment variable naming a cache directory; ``cache_from_env``
@@ -113,12 +139,14 @@ def estimator_token(estimator: Estimator) -> str:
 
 
 class ResultCache:
-    """A directory of content-addressed estimate files.
+    """A directory of content-addressed estimate files and chunk ledgers.
 
-    The cache counts its traffic (``hits``, ``misses``, ``stores``) so
-    orchestrators can report *zero re-estimation* on warm reruns.
-    Corrupt or truncated entries are treated as misses and overwritten on
-    the next store — the cache is disposable by design.
+    The cache counts its traffic — estimate-level (``hits``, ``misses``,
+    ``stores``) and chunk-level (``chunk_hits``, ``chunk_misses``,
+    ``chunk_stores``) — so orchestrators can report *zero re-estimation*
+    on warm reruns and *only the new chunks sampled* on trials
+    extensions.  Corrupt or truncated entries are treated as misses and
+    overwritten on the next store — the cache is disposable by design.
     """
 
     def __init__(self, directory: str | os.PathLike) -> None:
@@ -127,6 +155,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.chunk_hits = 0
+        self.chunk_misses = 0
+        self.chunk_stores = 0
 
     # -- keys ----------------------------------------------------------
 
@@ -156,6 +187,32 @@ class ResultCache:
     def path(self, key: dict) -> pathlib.Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""
         return self.directory / f"{self.digest(key)[:32]}.json"
+
+    def ledger_key(
+        self,
+        scenario: Scenario,
+        estimator: Estimator,
+        seed: int,
+        chunk_size: int,
+    ) -> dict:
+        """The canonical key of one run configuration's chunk ledger.
+
+        Deliberately *without* ``trials``: the ledger is the prefix-
+        stable chunk stream itself, and a trial count merely selects a
+        prefix of it.  The ``kind`` marker keeps ledger digests disjoint
+        from estimate digests by construction.
+        """
+        return {
+            "kind": "chunk-ledger",
+            "scenario": scenario_fingerprint(scenario),
+            "estimator": estimator_token(estimator),
+            "seed": int(seed),
+            "chunk_size": int(chunk_size),
+        }
+
+    def ledger_path(self, key: dict) -> pathlib.Path:
+        """Where the ledger for ``key`` lives (whether or not it exists)."""
+        return self.directory / f"{self.digest(key)[:32]}.ledger.json"
 
     # -- traffic -------------------------------------------------------
 
@@ -211,6 +268,68 @@ class ResultCache:
         self.stores += 1
         return path
 
+    # -- chunk ledger --------------------------------------------------
+
+    def get_chunks(self, key: dict, indices) -> dict[int, int]:
+        """Ledgered hit counts for the requested chunk ``indices``.
+
+        Returns ``{index: hits}`` for every requested index present in
+        the ledger; absent indices are simply missing from the result.
+        Found and absent indices count toward ``chunk_hits`` /
+        ``chunk_misses``.  A corrupt or type-invalid ledger file is an
+        all-miss (and is healed by the next :meth:`put_chunks`).
+        """
+        wanted = list(indices)
+        stored = self._load_ledger(
+            self.ledger_path(key), int(key["chunk_size"])
+        )
+        found = {i: stored[i] for i in wanted if i in stored}
+        self.chunk_hits += len(found)
+        self.chunk_misses += len(wanted) - len(found)
+        return found
+
+    def put_chunks(self, key: dict, chunks: dict[int, int]) -> pathlib.Path:
+        """Merge ``chunks`` (``{index: hits}``) into the ledger of ``key``.
+
+        Existing entries are kept (they are bit-identical to whatever a
+        re-computation would produce, by the reproducibility contract);
+        the merged ledger is rewritten through the same atomic-rename
+        discipline as :meth:`put`.  Returns the ledger path.
+
+        Concurrency: the read-merge-rewrite is not locked, so two
+        processes extending the same configuration simultaneously can
+        each persist a merge that lacks the other's newest chunks
+        (last writer wins).  That never affects correctness — a dropped
+        entry just recomputes bit-identically on the next run — it only
+        weakens the no-resampling guarantee, which assumes one writer
+        per configuration at a time (as the orchestrators provide).
+        """
+        path = self.ledger_path(key)
+        merged = self._load_ledger(path, int(key["chunk_size"]))
+        fresh = {
+            int(index): int(hits)
+            for index, hits in chunks.items()
+            if int(index) not in merged
+        }
+        merged.update(fresh)
+        payload = {
+            "key": key,
+            "chunks": {str(i): merged[i] for i in sorted(merged)},
+        }
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(json.dumps(payload, indent=2) + "\n")
+            os.replace(temp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temp_name)
+            raise
+        self.chunk_stores += len(fresh)
+        return path
+
     # -- statistics ----------------------------------------------------
 
     def stats(self) -> dict:
@@ -221,16 +340,35 @@ class ResultCache:
         footers, so it must distinguish "no traffic" from "0% hits".
         """
         lookups = self.hits + self.misses
+        chunk_lookups = self.chunk_hits + self.chunk_misses
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "lookups": lookups,
             "hit_rate": (self.hits / lookups) if lookups else None,
+            "chunk_hits": self.chunk_hits,
+            "chunk_misses": self.chunk_misses,
+            "chunk_stores": self.chunk_stores,
+            "chunk_lookups": chunk_lookups,
+            "chunk_hit_rate": (
+                (self.chunk_hits / chunk_lookups) if chunk_lookups else None
+            ),
         }
 
     @staticmethod
-    def _load(path: pathlib.Path) -> dict | None:
+    def _is_real(value) -> bool:
+        """A finite JSON number that is not a bool (JSON has no separate
+        integer/float estimate fields, but strings and booleans would
+        load fine and crash — or silently miscompare — much later)."""
+        return (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value)
+        )
+
+    @classmethod
+    def _load(cls, path: pathlib.Path) -> dict | None:
         try:
             entry = json.loads(path.read_text())
         except (OSError, ValueError):
@@ -242,10 +380,55 @@ class ResultCache:
             "trials",
         } <= estimate.keys():
             return None
+        # Type-validate the payload: a hand-edited entry (string value,
+        # float trials, ...) must count as a corrupt-entry miss here, not
+        # crash arithmetic somewhere downstream.
+        if not cls._is_real(estimate["value"]) or not cls._is_real(
+            estimate["standard_error"]
+        ):
+            return None
+        trials = estimate["trials"]
+        if not isinstance(trials, int) or isinstance(trials, bool):
+            return None
+        if trials < 1 or estimate["standard_error"] < 0:
+            return None
         return entry
 
+    @classmethod
+    def _load_ledger(
+        cls, path: pathlib.Path, chunk_size: int
+    ) -> dict[int, int]:
+        """The validated ``{index: hits}`` map of one ledger file.
+
+        Anything malformed — non-integer indices or counts, counts
+        outside ``[0, chunk_size]`` — degrades to an empty ledger (an
+        all-miss): the ledger is as disposable as every other entry.
+        """
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {}
+        chunks = entry.get("chunks") if isinstance(entry, dict) else None
+        if not isinstance(chunks, dict):
+            return {}
+        validated: dict[int, int] = {}
+        for index, hits in chunks.items():
+            if not isinstance(index, str) or not index.isdigit():
+                return {}
+            if not isinstance(hits, int) or isinstance(hits, bool):
+                return {}
+            if not 0 <= hits <= chunk_size:
+                return {}
+            validated[int(index)] = hits
+        return validated
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        """Estimate entries only (ledger files are not 'points')."""
+        return sum(
+            1
+            for entry in self.directory.glob("*.json")
+            if not entry.name.endswith(".ledger.json")
+        )
 
 
 def cache_from_env(default: str | os.PathLike | None = None) -> ResultCache | None:

@@ -32,13 +32,41 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.engine.runner import Estimator, run_chunk
 from repro.engine.scenarios import Scenario
 
-__all__ = ["ProcessBackend", "SerialBackend", "default_workers"]
+__all__ = ["Backend", "ProcessBackend", "SerialBackend", "default_workers"]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The streaming execution interface every backend implements.
+
+    The runner (fixed-budget *and* adaptive paths), the sweep
+    orchestrator, and the oracle builder all drive exactly this
+    surface — chunks and generic pure tasks in, futures out — so
+    :class:`SerialBackend` and :class:`ProcessBackend` are
+    interchangeable and the choice of backend can never change a
+    result, only its wall-clock.
+    """
+
+    def submit_task(self, function, /, *args):
+        """Submit one pure, picklable task; returns its future."""
+        ...  # pragma: no cover - protocol signature only
+
+    def submit_chunks(
+        self,
+        scenario: Scenario,
+        estimator: Estimator,
+        sizes: list[int],
+        children: list[np.random.SeedSequence],
+    ) -> list:
+        """Submit one chunk per (size, child); futures in chunk order."""
+        ...  # pragma: no cover - protocol signature only
 
 
 def default_workers() -> int:
@@ -145,10 +173,14 @@ class ProcessBackend:
 
         Non-blocking: callers may submit the chunks of many runs before
         collecting any result, which is how the sweep orchestrator keeps
-        all workers busy across point boundaries.
+        all workers busy across point boundaries.  An empty submission
+        (a run served entirely from the chunk ledger) never starts the
+        pool.
         """
         if len(sizes) != len(children):
             raise ValueError("one SeedSequence child per chunk required")
+        if not sizes:
+            return []
         pool = self._pool()
         return [
             pool.submit(run_chunk, scenario, estimator, size, child)

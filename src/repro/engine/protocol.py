@@ -338,11 +338,17 @@ class ProtocolRunner(ExperimentRunner):
     """:class:`ExperimentRunner` specialised for protocol scenarios.
 
     Nothing in the execution path changes — chunked submission, the
-    spawned seed tree, backend independence, and cache integration are
-    inherited verbatim.  The specialisation is the default chunk size
-    (:data:`PROTOCOL_CHUNK_SIZE`: protocol trials are whole simulated
-    executions, so chunks must be small for a pool to interleave) and a
-    type check that catches analytical scenarios passed by mistake.
+    spawned seed tree, backend independence, cache/ledger integration,
+    and the adaptive :meth:`~repro.engine.runner.ExperimentRunner.
+    run_until` stopping mode are inherited verbatim.  Adaptive stopping
+    matters most here: a protocol trial is a whole simulated execution
+    (milliseconds, not microseconds), so stopping a rare-violation
+    workload the moment its standard error resolves — and ledgering
+    every completed chunk of simulations for later budget extensions —
+    saves real wall-clock.  The specialisation is the default chunk
+    size (:data:`PROTOCOL_CHUNK_SIZE`: small, so a pool has work to
+    interleave) and a type check that catches analytical scenarios
+    passed by mistake.
     """
 
     def __init__(

@@ -21,6 +21,30 @@ between serial and parallel runs, and so are the aggregated
 trial stream and changes individual samples — the estimate remains
 statistically identical, but not bit-identical.)
 
+Because spawned children form a *prefix-stable* stream (child ``i`` is
+``SeedSequence(seed, spawn_key=(i,))`` no matter how many children a
+run spawns), ``trials`` is just a prefix length of one infinite chunk
+stream.  The runner exploits this through the cache's **chunk ledger**:
+every *full* chunk's hit count is stored under
+``(scenario, estimator, seed, chunk_size, chunk_index)``, so extending
+a run (say 10k → 50k trials) re-samples only the new chunks and the
+ragged remainder — previously computed full chunks are reused
+bit-identically.  The ragged remainder is computed, never ledgered: a
+shorter chunk drawn from the same child consumes its generator in
+different phase widths, so its hits are not a prefix of the full
+chunk's.  Whole-run :class:`Estimate` entries remain in the cache as a
+fast path (and for compatibility with entries written before the
+ledger existed).
+
+:meth:`ExperimentRunner.run_until` adds **adaptive precision
+targeting** on top of the same chunk stream: waves of full chunks are
+dispatched (doubling per wave) until the estimate's standard error
+meets ``target_se`` / ``rel_se`` or ``max_trials`` is exhausted.  The
+stopping decision is evaluated only at wave boundaries on aggregated
+hit counts, so the realized trial count is a deterministic function of
+``(seed, stopping rule)`` — identical for every backend and worker
+count, and fully ledger-cacheable.
+
 Passing an existing ``numpy.random.Generator`` instead of an integer
 selects the legacy *streaming* path: the generator is consumed strictly
 sequentially, one chunk at a time, which lets callers continue an
@@ -40,7 +64,7 @@ from repro.engine.scenarios import Batch, Scenario
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.cache import ResultCache
-    from repro.engine.parallel import ProcessBackend, SerialBackend
+    from repro.engine.parallel import Backend, ProcessBackend
 
 #: An estimator maps (scenario, batch) to a boolean hit vector.
 Estimator = Callable[[Scenario, Batch], np.ndarray]
@@ -245,14 +269,37 @@ def run_chunk(
 # ----------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class RunReport:
+    """Where one resolved run's trials came from.
+
+    ``reused_trials`` were served from the cache — whole-run estimate
+    entries and ledgered full chunks alike — and ``sampled_trials``
+    were freshly computed; the two always sum to the realized trial
+    count.  ``from_cache`` is true when *nothing* was sampled.  The
+    sweep layer copies these numbers into its tidy rows, which is how
+    the CLI's realized-trials and ledger-reuse columns are fed.
+    """
+
+    trials: int
+    reused_trials: int
+    sampled_trials: int
+    reused_chunks: int
+    sampled_chunks: int
+    waves: int
+    from_cache: bool
+
+
 @dataclass
 class PendingEstimate:
     """A dispatched run: resolves to an :class:`Estimate` on demand.
 
     Produced by :meth:`ExperimentRunner.submit`.  ``from_cache`` marks a
-    run served entirely from the cache (no chunks were submitted);
-    otherwise :meth:`result` blocks on the chunk futures, aggregates,
-    and stores the estimate under ``key`` when the runner has a cache.
+    run served entirely from the whole-run cache (no chunks were
+    submitted); otherwise :meth:`result` blocks on the chunk futures —
+    only the ones the chunk ledger could not serve — aggregates, stores
+    new full-chunk hits into the ledger, and stores the estimate under
+    ``key`` when the runner has a cache.
     """
 
     runner: "ExperimentRunner"
@@ -261,16 +308,48 @@ class PendingEstimate:
     futures: list
     #: True when the run was served from the cache (no estimation at all).
     from_cache: bool = False
+    #: Ledger key of the run configuration (``None`` without a cache).
+    ledger_key: dict | None = None
+    #: Chunk indices the futures correspond to, positionally aligned.
+    submitted: tuple[int, ...] = ()
+    #: Number of *full* chunks in the partition (ragged excluded).
+    full_chunks: int = 0
+    #: Aggregate hits of the ledger-served chunks.
+    reused_hits: int = 0
+    #: Trials served by the ledger (``reused_chunks * chunk_size``).
+    reused_trials: int = 0
     _resolved: Estimate | None = None
+    report: RunReport | None = None
 
     def result(self) -> Estimate:
-        """Block until every chunk is done; the aggregated estimate."""
+        """Block until every submitted chunk is done; the aggregate."""
         if self._resolved is not None:
+            if self.report is not None:
+                self.runner.last_report = self.report
             return self._resolved
-        hits = sum(future.result() for future in self.futures)
+        hits = self.reused_hits
+        new_chunks: dict[int, int] = {}
+        for index, future in zip(self.submitted, self.futures):
+            chunk_hits = future.result()
+            hits += chunk_hits
+            if index < self.full_chunks:
+                new_chunks[index] = chunk_hits
         estimate = estimate_from_hits(hits, self.trials)
+        if self.ledger_key is not None and new_chunks:
+            self.runner.cache.put_chunks(self.ledger_key, new_chunks)
         if self.key is not None:
             self.runner.cache.put(self.key, estimate)
+        sampled = self.trials - self.reused_trials
+        self.report = RunReport(
+            trials=self.trials,
+            reused_trials=self.reused_trials,
+            sampled_trials=sampled,
+            reused_chunks=self.full_chunks - len(new_chunks),
+            sampled_chunks=len(self.submitted),
+            waves=1,
+            from_cache=sampled == 0,
+        )
+        self.runner.last_report = self.report
         self._resolved = estimate
         self.futures = []
         return estimate
@@ -314,6 +393,10 @@ class ExperimentRunner:
         self.chunk_size = chunk_size
         self.workers = workers
         self.cache = cache
+        #: The :class:`RunReport` of the most recently resolved run on
+        #: this runner (``None`` before the first); orchestrators read
+        #: it to fill their realized-trials / ledger-reuse columns.
+        self.last_report: RunReport | None = None
 
     @staticmethod
     def _default_estimator(scenario: Scenario) -> Estimator:
@@ -368,35 +451,269 @@ class ExperimentRunner:
         return self.submit(trials, seed, SerialBackend()).result()
 
     def submit(
-        self, trials: int, seed: int, backend: "ProcessBackend | SerialBackend"
+        self, trials: int, seed: int, backend: "Backend"
     ) -> "PendingEstimate":
         """Dispatch a run to ``backend`` without waiting for it.
 
-        Cache lookups still happen immediately (a hit returns an
-        already-resolved pending); on a miss every chunk is submitted to
-        the pool and the returned :class:`PendingEstimate` aggregates —
-        and stores to the cache — when :meth:`~PendingEstimate.result`
-        is called.  Submitting many runs before collecting any result is
-        what keeps pool workers busy across sweep-point boundaries.
+        Cache lookups still happen immediately: a whole-run estimate hit
+        returns an already-resolved pending, and on a miss the chunk
+        ledger is consulted — full chunks it already holds are reused
+        bit-identically (the prefix property) and only the missing full
+        chunks plus the ragged remainder are submitted to the pool.  The
+        returned :class:`PendingEstimate` aggregates — and stores new
+        chunks and the estimate back to the cache — when
+        :meth:`~PendingEstimate.result` is called.  Submitting many runs
+        before collecting any result is what keeps pool workers busy
+        across sweep-point boundaries.
         """
         if trials < 1:
             raise ValueError("trials must be positive")
-        key = None
+        key = ledger_key = None
+        reused: dict[int, int] = {}
+        full = trials // self.chunk_size
         if self.cache is not None:
             key = self.cache.key(
                 self.scenario, self.estimator, seed, trials, self.chunk_size
             )
             cached = self.cache.get(key)
             if cached is not None:
-                return PendingEstimate(
-                    self, trials, None, [], from_cache=True, _resolved=cached
+                report = RunReport(
+                    trials=trials,
+                    reused_trials=trials,
+                    sampled_trials=0,
+                    reused_chunks=full,
+                    sampled_chunks=0,
+                    waves=0,
+                    from_cache=True,
                 )
+                return PendingEstimate(
+                    self,
+                    trials,
+                    None,
+                    [],
+                    from_cache=True,
+                    _resolved=cached,
+                    report=report,
+                )
+            ledger_key = self.cache.ledger_key(
+                self.scenario, self.estimator, seed, self.chunk_size
+            )
+            reused = self.cache.get_chunks(ledger_key, range(full))
         sizes = chunk_sizes(trials, self.chunk_size)
         children = np.random.SeedSequence(seed).spawn(len(sizes))
-        futures = backend.submit_chunks(
-            self.scenario, self.estimator, sizes, children
+        submitted = tuple(
+            index for index in range(len(sizes)) if index not in reused
         )
-        return PendingEstimate(self, trials, key, futures)
+        futures = backend.submit_chunks(
+            self.scenario,
+            self.estimator,
+            [sizes[index] for index in submitted],
+            [children[index] for index in submitted],
+        )
+        return PendingEstimate(
+            self,
+            trials,
+            key,
+            futures,
+            ledger_key=ledger_key,
+            submitted=submitted,
+            full_chunks=full,
+            reused_hits=sum(reused.values()),
+            reused_trials=len(reused) * self.chunk_size,
+        )
+
+    def run_until(
+        self,
+        seed: int,
+        *,
+        target_se: float | None = None,
+        rel_se: float | None = None,
+        max_trials: int,
+        initial_chunks: int = 4,
+        backend: "Backend | None" = None,
+    ) -> Estimate:
+        """Run until the standard-error target is met (or the budget is).
+
+        The adaptive mode of the chunk-stream contract: full chunks are
+        dispatched in **waves** — ``initial_chunks`` first, then the
+        total at most doubles each wave, clipped to the *projected*
+        requirement ``n · (se / target)²`` from the current aggregate
+        (so a point that clearly needs 1.3× more trials does not jump
+        to 2×) — and after every wave the aggregated estimate is
+        checked against the stopping rule:
+
+        * ``target_se`` — stop once ``standard_error <= target_se``;
+        * ``rel_se`` — stop once ``standard_error <= rel_se * value``
+          (checked only when ``value > 0``; an all-miss estimate cannot
+          certify a relative error).
+
+        At least one of the two must be given; either alone or both
+        together (stop at the first that holds).  When every full chunk
+        under ``max_trials`` is spent and the target is still unmet, the
+        ragged remainder runs last and the final estimate — at exactly
+        ``max_trials`` trials, bit-identical to
+        ``run(max_trials, seed)`` — is returned regardless.
+
+        Because hit counts are backend-independent and each wave's size
+        is a pure function of the aggregated hits so far (which are
+        themselves bit-identical on every backend) plus
+        ``(chunk_size, initial_chunks, max_trials)``, the realized
+        trial count is a deterministic function of
+        ``(seed, stopping rule)``: 1, 2, and 4 workers return
+        bit-identical estimates with identical trial counts.
+        Full chunks read and write the cache's chunk ledger exactly as
+        fixed-budget runs do — a warm adaptive rerun samples nothing,
+        and a later ``run(realized_trials, seed)`` reuses every chunk.
+        """
+        if target_se is None and rel_se is None:
+            raise ValueError("run_until needs target_se and/or rel_se")
+        if target_se is not None and not target_se > 0:
+            raise ValueError(f"target_se must be positive, got {target_se}")
+        if rel_se is not None and not rel_se > 0:
+            raise ValueError(f"rel_se must be positive, got {rel_se}")
+        if max_trials < 1:
+            raise ValueError("max_trials must be positive")
+        if initial_chunks < 1:
+            raise ValueError("initial_chunks must be positive")
+        if isinstance(seed, np.random.Generator):
+            raise ValueError(
+                "adaptive runs need an integer seed (the stopping rule "
+                "must be replayable); generator continuation is the "
+                "fixed-budget streaming path only"
+            )
+        if backend is None:
+            if self.workers > 1:
+                from repro.engine.parallel import ProcessBackend
+
+                with ProcessBackend(self.workers) as pool:
+                    return self.run_until(
+                        seed,
+                        target_se=target_se,
+                        rel_se=rel_se,
+                        max_trials=max_trials,
+                        initial_chunks=initial_chunks,
+                        backend=pool,
+                    )
+            from repro.engine.parallel import SerialBackend
+
+            backend = SerialBackend()
+
+        def met(estimate: Estimate) -> bool:
+            if (
+                target_se is not None
+                and estimate.standard_error <= target_se
+            ):
+                return True
+            return (
+                rel_se is not None
+                and estimate.value > 0
+                and estimate.standard_error <= rel_se * estimate.value
+            )
+
+        full_max, ragged = divmod(max_trials, self.chunk_size)
+        ledger_key = None
+        if self.cache is not None:
+            ledger_key = self.cache.ledger_key(
+                self.scenario, self.estimator, seed, self.chunk_size
+            )
+        hits = chunks_done = 0
+        reused_trials = sampled_trials = 0
+        reused_chunks = sampled_chunks = waves = 0
+        estimate: Estimate | None = None
+        while chunks_done < full_max:
+            if chunks_done == 0:
+                goal = min(full_max, initial_chunks)
+            else:
+                # The largest active threshold at the current value is
+                # the easiest target to meet; project the trials needed
+                # to reach it from the aggregate so far, and grow by at
+                # most 2x but never (knowingly) past the projection.
+                threshold = max(
+                    target_se if target_se is not None else 0.0,
+                    rel_se * estimate.value if rel_se is not None else 0.0,
+                )
+                if threshold > 0:
+                    projected = math.ceil(
+                        estimate.trials
+                        * (estimate.standard_error / threshold) ** 2
+                        / self.chunk_size
+                    )
+                else:  # rel-only rule while value == 0: no signal yet
+                    projected = 2 * chunks_done
+                goal = min(
+                    full_max,
+                    max(chunks_done + 1, min(2 * chunks_done, projected)),
+                )
+            wave = range(chunks_done, goal)
+            children = np.random.SeedSequence(seed).spawn(goal)
+            reused: dict[int, int] = {}
+            if ledger_key is not None:
+                reused = self.cache.get_chunks(ledger_key, wave)
+            to_sample = [index for index in wave if index not in reused]
+            futures = backend.submit_chunks(
+                self.scenario,
+                self.estimator,
+                [self.chunk_size] * len(to_sample),
+                [children[index] for index in to_sample],
+            )
+            fresh = {
+                index: future.result()
+                for index, future in zip(to_sample, futures)
+            }
+            if ledger_key is not None and fresh:
+                self.cache.put_chunks(ledger_key, fresh)
+            hits += sum(reused.values()) + sum(fresh.values())
+            reused_trials += len(reused) * self.chunk_size
+            sampled_trials += len(fresh) * self.chunk_size
+            reused_chunks += len(reused)
+            sampled_chunks += len(fresh)
+            chunks_done = goal
+            waves += 1
+            estimate = estimate_from_hits(
+                hits, chunks_done * self.chunk_size
+            )
+            if met(estimate):
+                break
+        else:
+            # Every full chunk is spent (or none fits): the ragged
+            # remainder — computed, never ledgered — tops the run up to
+            # exactly max_trials.
+            if ragged:
+                children = np.random.SeedSequence(seed).spawn(full_max + 1)
+                (future,) = backend.submit_chunks(
+                    self.scenario,
+                    self.estimator,
+                    [ragged],
+                    [children[full_max]],
+                )
+                hits += future.result()
+                sampled_trials += ragged
+                sampled_chunks += 1
+                waves += 1
+                estimate = estimate_from_hits(
+                    hits, full_max * self.chunk_size + ragged
+                )
+        assert estimate is not None  # max_trials >= 1 guarantees a wave
+        if self.cache is not None:
+            key = self.cache.key(
+                self.scenario,
+                self.estimator,
+                seed,
+                estimate.trials,
+                self.chunk_size,
+            )
+            if not self.cache.contains(key):
+                self.cache.put(key, estimate)
+        self.last_report = RunReport(
+            trials=estimate.trials,
+            reused_trials=reused_trials,
+            sampled_trials=sampled_trials,
+            reused_chunks=reused_chunks,
+            sampled_chunks=sampled_chunks,
+            waves=waves,
+            from_cache=sampled_trials == 0,
+        )
+        return estimate
 
     def _run_streaming(
         self, trials: int, generator: np.random.Generator

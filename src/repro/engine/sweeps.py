@@ -10,7 +10,12 @@ executes every point through :class:`~repro.engine.runner.
 ExperimentRunner` — serially, or fanned across a shared
 :class:`~repro.engine.parallel.ProcessBackend`, with an optional
 :class:`~repro.engine.cache.ResultCache` so a point is never estimated
-twice.
+twice (and, through the chunk ledger, so no *full chunk* is ever
+sampled twice even when trial budgets change).  Grids may declare
+per-point precision targets (``target_se`` / ``rel_se`` /
+``max_trials``): the run then goes through the adaptive
+:meth:`~repro.engine.runner.ExperimentRunner.run_until` path and rare
+cells automatically receive more trials than easy ones.
 
 Axes come in two kinds:
 
@@ -115,10 +120,25 @@ class SweepGrid:
     chunk_size: int = 4096
     overrides: tuple[tuple[str, object], ...] = ()
     description: str = ""
+    #: Per-point precision targets (the adaptive defaults — any of them
+    #: set makes ``run_grid`` run the grid through ``run_until``):
+    #: stop each point once its standard error is <= ``target_se``
+    #: and/or <= ``rel_se * value``, spending at most ``max_trials``
+    #: trials (default: the grid's ``trials`` budget).  Rare cells
+    #: automatically receive more trials than easy ones.
+    target_se: float | None = None
+    rel_se: float | None = None
+    max_trials: int | None = None
 
     def __post_init__(self) -> None:
         if not self.axes:
             raise ValueError("a grid needs at least one axis")
+        if self.target_se is not None and not self.target_se > 0:
+            raise ValueError("target_se must be positive")
+        if self.rel_se is not None and not self.rel_se > 0:
+            raise ValueError("rel_se must be positive")
+        if self.max_trials is not None and self.max_trials < 1:
+            raise ValueError("max_trials must be positive")
         # Normalize axis values to tuples once: a generator passed as an
         # axis would otherwise survive validation and expand to nothing.
         object.__setattr__(
@@ -227,6 +247,20 @@ def select_points(
     return selected
 
 
+def _row(point: SweepPoint, estimate, report) -> dict:
+    """One tidy result row: coordinates, estimate, provenance."""
+    return {
+        **point.params,
+        "value": estimate.value,
+        "standard_error": estimate.standard_error,
+        "trials": estimate.trials,
+        "seed": point.seed,
+        "cached": report.from_cache,
+        "reused_trials": report.reused_trials,
+        "sampled_trials": report.sampled_trials,
+    }
+
+
 def run_grid(
     grid: SweepGrid,
     trials: int | None = None,
@@ -235,12 +269,17 @@ def run_grid(
     backend: ProcessBackend | None = None,
     seed: int | None = None,
     only: dict | None = None,
+    target_se: float | None = None,
+    rel_se: float | None = None,
+    max_trials: int | None = None,
 ) -> list[dict]:
     """Estimate every point of ``grid``; returns one tidy row per point.
 
     Rows carry the axis coordinates plus ``value`` / ``standard_error``
-    / ``trials`` / ``seed`` / ``cached`` (whether the point was served
-    from ``cache`` without re-estimation), in expansion order — ready
+    / ``trials`` (realized — fixed budget, or whatever the adaptive
+    stopping rule spent) / ``seed`` / ``cached`` (served without any
+    sampling) / ``reused_trials`` / ``sampled_trials`` (the chunk-ledger
+    split of where the trials came from), in expansion order — ready
     for ``json.dump`` or a CSV writer.
 
     ``workers > 1`` opens one shared :class:`ProcessBackend` for the
@@ -254,10 +293,25 @@ def run_grid(
     axis value (see :func:`select_points`); filtered runs keep the full
     grid's per-point seeds, so their rows — and cache entries — agree
     with the full run.
+
+    ``target_se`` / ``rel_se`` (falling back to the grid's declared
+    precision targets) switch every point to the adaptive
+    :meth:`~repro.engine.runner.ExperimentRunner.run_until` path: rare
+    cells run until their standard error meets the target (up to
+    ``max_trials``, default the fixed ``trials`` budget) while easy
+    cells stop after the first waves — realized trials vary per row.
+    Adaptive points execute in expansion order (chunk waves still fan
+    out across the backend); fixed-budget grids keep the fully
+    pipelined submit-everything-first dispatch.
     """
     trials = grid.trials if trials is None else trials
+    target_se = grid.target_se if target_se is None else target_se
+    rel_se = grid.rel_se if rel_se is None else rel_se
+    if max_trials is None:
+        max_trials = grid.max_trials if grid.max_trials is not None else trials
     if seed is not None:
         grid = dataclasses.replace(grid, seed=seed)
+    adaptive = target_se is not None or rel_se is not None
     estimator = grid.resolve_estimator()
     owned = None
     if backend is None and workers > 1:
@@ -275,26 +329,34 @@ def run_grid(
             )
             for point in points
         ]
+        active = backend if backend is not None else SerialBackend()
+        if adaptive:
+            # Adaptive points are sequential by construction: each wave's
+            # stopping decision needs the previous wave's hits.  Chunk
+            # waves still spread across the shared backend.
+            rows = []
+            for runner, point in zip(runners, points):
+                estimate = runner.run_until(
+                    point.seed,
+                    target_se=target_se,
+                    rel_se=rel_se,
+                    max_trials=max_trials,
+                    backend=active,
+                )
+                rows.append(_row(point, estimate, runner.last_report))
+            return rows
         # Submit every point's chunks before collecting anything: on a
         # process backend the pool pipelines across point boundaries, so
         # workers never idle while one point's last chunk finishes.  The
         # serial backend evaluates eagerly through the same code path.
-        active = backend if backend is not None else SerialBackend()
         pending = [
             runner.submit(trials, point.seed, active)
             for runner, point in zip(runners, points)
         ]
-        results = [(p.result(), p.from_cache) for p in pending]
+        results = [(p.result(), p.report) for p in pending]
         return [
-            {
-                **point.params,
-                "value": estimate.value,
-                "standard_error": estimate.standard_error,
-                "trials": estimate.trials,
-                "seed": point.seed,
-                "cached": cached,
-            }
-            for point, (estimate, cached) in zip(points, results)
+            _row(point, estimate, report)
+            for point, (estimate, report) in zip(points, results)
         ]
     finally:
         if owned is not None:

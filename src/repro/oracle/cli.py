@@ -53,11 +53,13 @@ def _build_spec(args) -> OracleSpec:
         "mc_depths": args.mc_depths,
         "activity": args.activity,
         "mc_trials": args.mc_trials,
+        "mc_target_se": args.mc_target_se,
         "mc_seed": args.mc_seed,
     }
     overrides = {k: v for k, v in overrides.items() if v is not None}
     if overrides.get("mc_trials") == 0:
         overrides["mc_depths"] = ()
+        overrides.setdefault("mc_target_se", 0.0)
     elif "depths" in overrides and "mc_depths" not in overrides:
         # Keep the invariant mc_depths ⊆ depths when only depths moved.
         retained = tuple(
@@ -171,7 +173,20 @@ def main(argv: list[str] | None = None) -> int:
         "--mc-trials",
         type=int,
         default=None,
-        help="Monte-Carlo cross-check trials per cell (0 disables)",
+        help=(
+            "Monte-Carlo cross-check trial ceiling per cell (0 disables "
+            "the cross-check entirely)"
+        ),
+    )
+    build.add_argument(
+        "--mc-target-se",
+        type=float,
+        default=None,
+        help=(
+            "adaptive cross-check: stop each cell at this standard-error "
+            "resolution instead of spending the whole --mc-trials budget "
+            "(0 = fixed trial count)"
+        ),
     )
     build.add_argument("--mc-depths", type=_ints, default=None)
     build.add_argument("--mc-seed", type=int, default=None)

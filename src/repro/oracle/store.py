@@ -59,7 +59,11 @@ __all__ = [
 #: Artifact family name; a different format is never silently readable.
 FORMAT = "repro-settlement-oracle-tables"
 #: Bumped on any incompatible layout change; part of the fingerprint.
-FORMAT_VERSION = 1
+#: v2: ``OracleSpec`` grew ``mc_target_se`` (adaptive cross-check), so
+#: v1 manifests re-fingerprint differently — the version check turns
+#: that into an accurate "incompatible version" error instead of a
+#: misleading "manifest edited" one.
+FORMAT_VERSION = 2
 
 _ARRAYS = {
     "forward": ("forward.npy", np.float64),

@@ -122,8 +122,14 @@ class OracleSpec:
     loosest first) so the artifact is canonical — two specs describing
     the same grid serialize identically and fingerprint identically.
     ``mc_trials = 0`` disables the Monte-Carlo cross-check; otherwise
-    every ``mc_depths ⊆ depths`` cell is validated.  All fields are part
-    of the artifact fingerprint (see :mod:`repro.oracle.store`).
+    every ``mc_depths ⊆ depths`` cell is validated.  ``mc_target_se``
+    > 0 makes the cross-check *adaptive*: instead of spending the whole
+    fixed ``mc_trials`` budget per cell, each cell runs until its
+    standard error reaches the requested σ-resolution (``mc_trials``
+    then caps the spend) — rare cells sample more, easy cells less, and
+    the realized trial counts stay a deterministic function of the spec.
+    All fields are part of the artifact fingerprint (see
+    :mod:`repro.oracle.store`).
     """
 
     alphas: tuple[float, ...]
@@ -134,6 +140,7 @@ class OracleSpec:
     activity: float = 1.0
     mc_depths: tuple[int, ...] = ()
     mc_trials: int = 0
+    mc_target_se: float = 0.0
     mc_seed: int = 2020
     mc_chunk_size: int = 4096
 
@@ -170,6 +177,12 @@ class OracleSpec:
             raise ValueError("mc_trials must be non-negative")
         if self.mc_trials and not self.mc_depths:
             raise ValueError("mc_trials > 0 needs mc_depths")
+        if self.mc_target_se < 0:
+            raise ValueError("mc_target_se must be non-negative")
+        if self.mc_target_se and not self.mc_trials:
+            raise ValueError(
+                "mc_target_se > 0 needs mc_trials as its trial ceiling"
+            )
         if not set(self.mc_depths) <= set(self.depths):
             raise ValueError("mc_depths must be a subset of depths")
         # Every cell's slot law must exist (honest majority after the
@@ -404,10 +417,15 @@ def build_tables(
 
         mc_points = mc_cached = 0
         if spec.mc_trials:
+            budget = (
+                f"SE target {spec.mc_target_se:g}, "
+                f"<= {spec.mc_trials} trials/point"
+                if spec.mc_target_se
+                else f"{spec.mc_trials} trials/point"
+            )
             emit(
                 f"cross-validating {len(laws)} combos x "
-                f"{len(spec.mc_depths)} depths by Monte Carlo "
-                f"({spec.mc_trials} trials/point)"
+                f"{len(spec.mc_depths)} depths by Monte Carlo ({budget})"
             )
             depth_index = {k: m for m, k in enumerate(spec.depths)}
             for combo_index, ((i, j, l), law) in enumerate(laws.items()):
@@ -415,6 +433,10 @@ def build_tables(
                     _mc_grid(spec, combo_index, law),
                     backend=backend if workers > 1 else None,
                     cache=cache,
+                    # mc_target_se > 0: the cross-check targets a fixed
+                    # sigma-resolution per cell instead of a fixed trial
+                    # count; mc_trials becomes the per-cell ceiling.
+                    target_se=spec.mc_target_se or None,
                 )
                 for row in rows:
                     mc_points += 1
@@ -465,7 +487,9 @@ def build_tables(
 #: Production-shaped grid: Table 1's stake and uniqueness coordinates at
 #: a realistic activity (f = 0.05, the deployed Ouroboros value), delay
 #: bounds 0–4, depths to 200.  Builds in a couple of minutes serially;
-#: ``workers`` scales it down.
+#: ``workers`` scales it down.  The cross-check targets a fixed
+#: σ-resolution (adaptive): ``mc_trials`` is the per-cell ceiling, not
+#: the spend — easy cells stop as soon as 3×10⁻³ resolution is reached.
 DEFAULT_SPEC = OracleSpec(
     alphas=(0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35),
     unique_fractions=(0.25, 0.5, 0.8, 0.9, 1.0),
@@ -474,12 +498,14 @@ DEFAULT_SPEC = OracleSpec(
     targets=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10),
     activity=0.05,
     mc_depths=(10, 20),
-    mc_trials=20_000,
+    mc_trials=32_768,
+    mc_target_se=3e-3,
     mc_seed=2020,
 )
 
 #: CI / test / benchmark-sized grid: builds in seconds, still exercises
-#: every code path (reduction, both table directions, MC cross-check).
+#: every code path (reduction, both table directions, adaptive MC
+#: cross-check at a fixed σ-resolution).
 TINY_SPEC = OracleSpec(
     alphas=(0.10, 0.20, 0.30),
     unique_fractions=(0.5, 1.0),
@@ -488,6 +514,8 @@ TINY_SPEC = OracleSpec(
     targets=(1e-1, 1e-2, 1e-3),
     activity=0.05,
     mc_depths=(5, 10),
-    mc_trials=4_000,
+    mc_trials=8_192,
+    mc_target_se=1e-2,
     mc_seed=2020,
+    mc_chunk_size=1024,
 )

@@ -31,6 +31,16 @@ processes.  Estimates are bit-identical for every worker count — the
 per-chunk spawned ``SeedSequence`` tree depends only on
 ``(seed, trials, chunk_size)`` — so ``--workers`` is purely a wall-clock
 knob.
+
+Adaptive precision: ``--target-se`` / ``--rel-se`` switch every point
+to the runner's ``run_until`` path — chunk waves are dispatched until
+the point's standard error meets the target, spending at most
+``--max-trials`` (default: the fixed trial budget).  The ``trials``
+column then shows each point's *realized* spend and the ``reused``
+column how much of it was served from the chunk ledger; the cache
+footer carries the chunk-level counters.  Raising ``--trials`` on a
+warm cache re-samples only the new chunks (the ledger's prefix
+property) — the old full chunks are reused bit-identically.
 """
 
 from __future__ import annotations
@@ -93,14 +103,20 @@ def _cell(value) -> str:
 
 
 def format_table(axis_names: list[str], rows: list[dict]) -> str:
-    """Render tidy sweep rows as an aligned text table."""
-    headers = [*axis_names, "value", "std_err", "trials", "cached"]
+    """Render tidy sweep rows as an aligned text table.
+
+    ``trials`` is the realized spend (fixed budget, or whatever the
+    adaptive stopping rule used); ``reused`` is the slice of it served
+    from the cache's chunk ledger without any sampling.
+    """
+    headers = [*axis_names, "value", "std_err", "trials", "reused", "cached"]
     rendered = [
         [
             *(_cell(row[name]) for name in axis_names),
             f"{row['value']:.6g}",
             f"{row['standard_error']:.3g}",
             str(row["trials"]),
+            str(row["reused_trials"]),
             "yes" if row["cached"] else "no",
         ]
         for row in rows
@@ -164,6 +180,35 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--target-se",
+        type=float,
+        default=None,
+        help=(
+            "adaptive mode: stop each point once its standard error is "
+            "<= this (realized trials vary per point, capped by "
+            "--max-trials)"
+        ),
+    )
+    parser.add_argument(
+        "--rel-se",
+        type=float,
+        default=None,
+        help=(
+            "adaptive mode: stop each point once its standard error is "
+            "<= this fraction of its value (combinable with --target-se; "
+            "first target met stops the point)"
+        ),
+    )
+    parser.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help=(
+            "adaptive trial ceiling per point (default: the fixed "
+            "--trials budget)"
+        ),
+    )
+    parser.add_argument(
         "--only",
         action="append",
         default=[],
@@ -215,6 +260,34 @@ def main(argv: list[str] | None = None) -> int:
             ResultCache(args.cache_dir) if args.cache_dir else cache_from_env()
         )
 
+    # Validate the adaptive flags up front (mirroring run_until's own
+    # checks) so a bad flag is a clean CLI error while genuine runtime
+    # failures keep their tracebacks.
+    for name, value in (
+        ("--target-se", args.target_se),
+        ("--rel-se", args.rel_se),
+    ):
+        if value is not None and not value > 0:
+            print(f"error: {name} must be positive, got {value}",
+                  file=sys.stderr)
+            return 2
+    if args.max_trials is not None and args.max_trials < 1:
+        print("error: --max-trials must be positive", file=sys.stderr)
+        return 2
+    adaptive = (
+        args.target_se is not None
+        or args.rel_se is not None
+        or grid.target_se is not None
+        or grid.rel_se is not None
+    )
+    if args.max_trials is not None and not adaptive:
+        print(
+            "error: --max-trials only caps adaptive runs; add "
+            "--target-se or --rel-se (fixed budgets use --trials)",
+            file=sys.stderr,
+        )
+        return 2
+
     start = time.perf_counter()
     rows = run_grid(
         grid,
@@ -223,14 +296,20 @@ def main(argv: list[str] | None = None) -> int:
         cache=cache,
         seed=args.seed,
         only=only,
+        target_se=args.target_se,
+        rel_se=args.rel_se,
+        max_trials=args.max_trials,
     )
     elapsed = time.perf_counter() - start
 
     print(format_table(grid.axis_names, rows))
     served = sum(1 for row in rows if row["cached"])
+    realized = sum(row["trials"] for row in rows)
+    reused = sum(row["reused_trials"] for row in rows)
     summary = (
         f"{len(rows)} points in {elapsed:.2f}s "
-        f"(workers={args.workers}, {served} from cache)"
+        f"(workers={args.workers}, {served} from cache, "
+        f"{realized} trials realized, {reused} reused from ledger)"
     )
     print(summary)
     if cache is not None:

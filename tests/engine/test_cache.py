@@ -71,6 +71,11 @@ class TestStats:
             "stores": 0,
             "lookups": 0,
             "hit_rate": None,
+            "chunk_hits": 0,
+            "chunk_misses": 0,
+            "chunk_stores": 0,
+            "chunk_lookups": 0,
+            "chunk_hit_rate": None,
         }
 
     def test_traffic_is_counted(self, cache):
@@ -166,6 +171,34 @@ class TestEstimatorTokens:
 
 
 class TestRobustness:
+    @pytest.mark.parametrize(
+        "field,bad",
+        [
+            ("value", "0.25"),  # hand-edited string loads, crashes later
+            ("value", float("nan")),
+            ("standard_error", "tiny"),
+            ("standard_error", -0.1),
+            ("standard_error", True),
+            ("trials", 100.0),  # float trials breaks exact-int arithmetic
+            ("trials", "100"),
+            ("trials", 0),
+            ("trials", True),
+        ],
+    )
+    def test_type_invalid_entry_is_a_miss(self, cache, field, bad):
+        """The hardening satellite: wrong numeric *types* (not just
+        malformed JSON) must count as corrupt-entry misses instead of
+        loading and crashing downstream."""
+        runner = make_runner(cache)
+        fresh = runner.run(2_000, seed=9)
+        key = cache.key(runner.scenario, runner.estimator, 9, 2_000, 512)
+        entry = json.loads(cache.path(key).read_text())
+        entry["estimate"][field] = bad
+        cache.path(key).write_text(json.dumps(entry))
+        assert not cache.contains(key)
+        assert cache.get(key) is None
+        assert runner.run(2_000, seed=9) == fresh  # heals by recompute
+
     def test_corrupt_entry_is_a_miss_and_heals(self, cache):
         runner = make_runner(cache)
         fresh = runner.run(2_000, seed=9)

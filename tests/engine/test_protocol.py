@@ -147,6 +147,37 @@ class TestSampling:
         assert not flags_c.any()
 
 
+class TestAdaptiveProtocolRuns:
+    """ProtocolRunner inherits run_until: adaptive stopping over whole
+    simulated executions, same determinism and ledger contract."""
+
+    def test_adaptive_identical_across_workers(self, tmp_path):
+        scenario = get_scenario("protocol-split", total_slots=30)
+        serial = ProtocolRunner(scenario, chunk_size=4).run_until(
+            5, rel_se=0.5, max_trials=16
+        )
+        parallel = ProtocolRunner(
+            scenario, chunk_size=4, workers=2
+        ).run_until(5, rel_se=0.5, max_trials=16)
+        assert serial == parallel
+
+    def test_warm_ledger_skips_simulation_batches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = get_scenario("protocol-split", total_slots=30)
+        first = ProtocolRunner(scenario, chunk_size=4, cache=cache)
+        estimate = first.run_until(5, rel_se=0.5, max_trials=16)
+        again = ProtocolRunner(scenario, chunk_size=4, cache=cache)
+        assert again.run_until(5, rel_se=0.5, max_trials=16) == estimate
+        assert again.last_report.from_cache
+        # A trials extension re-executes only the new simulation chunks.
+        extended = ProtocolRunner(scenario, chunk_size=4, cache=cache)
+        bumped = extended.run(24, seed=5)
+        assert extended.last_report.reused_trials >= estimate.trials
+        assert bumped == ProtocolRunner(scenario, chunk_size=4).run(
+            24, seed=5
+        )
+
+
 class TestRunnerIntegration:
     def test_default_estimator_by_adversary(self):
         split = ProtocolRunner(get_scenario("protocol-split"))

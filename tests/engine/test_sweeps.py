@@ -1,6 +1,7 @@
 """SweepGrid expansion, run_grid orchestration, the CLI, and the
 boundary-corrected ``estimate_from_hits``."""
 
+import dataclasses
 import json
 import math
 
@@ -154,6 +155,122 @@ class TestRunGrid:
         run_grid(self.GRID, cache=cache)
         rerun = run_grid(self.GRID, trials=2_001, cache=cache)
         assert all(not row["cached"] for row in rerun)
+
+
+class TestAdaptiveGrid:
+    """Per-point precision targets: run_grid through run_until."""
+
+    GRID = SweepGrid(
+        name="t-adaptive",
+        base="iid-settlement",
+        axes=(("depth", (5, 40)),),  # easy cell, rare cell
+        trials=50_000,
+        seed=60,
+        chunk_size=512,
+    )
+
+    def test_rare_cells_get_more_trials(self):
+        rows = run_grid(self.GRID, target_se=0.01)
+        easy, rare = rows
+        assert easy["value"] > rare["value"]
+        assert rare["trials"] >= easy["trials"]
+        assert all(row["standard_error"] <= 0.01 for row in rows)
+        assert all(row["trials"] <= 50_000 for row in rows)
+
+    def test_adaptive_identical_across_workers(self):
+        serial = run_grid(self.GRID, target_se=0.01)
+        assert run_grid(self.GRID, target_se=0.01, workers=2) == serial
+
+    def test_grid_declared_targets_are_defaults(self):
+        declared = dataclasses.replace(
+            self.GRID, name="t-adaptive-declared", target_se=0.01
+        )
+        assert run_grid(declared) == run_grid(self.GRID, target_se=0.01)
+
+    def test_adaptive_rows_match_run_until(self):
+        rows = run_grid(self.GRID, target_se=0.01)
+        for row, point in zip(rows, self.GRID.points()):
+            direct = ExperimentRunner(
+                point.scenario, chunk_size=512
+            ).run_until(point.seed, target_se=0.01, max_trials=50_000)
+            assert row["value"] == direct.value
+            assert row["trials"] == direct.trials
+
+    def test_warm_ledger_serves_adaptive_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_grid(self.GRID, target_se=0.01, cache=cache)
+        warm = run_grid(self.GRID, target_se=0.01, cache=cache)
+        assert [row["value"] for row in warm] == [
+            row["value"] for row in cold
+        ]
+        assert all(row["cached"] for row in warm)
+        assert all(row["sampled_trials"] == 0 for row in warm)
+
+    def test_precision_field_validation(self):
+        with pytest.raises(ValueError, match="target_se"):
+            dataclasses.replace(self.GRID, target_se=0.0)
+        with pytest.raises(ValueError, match="rel_se"):
+            dataclasses.replace(self.GRID, rel_se=-1.0)
+        with pytest.raises(ValueError, match="max_trials"):
+            dataclasses.replace(self.GRID, max_trials=0)
+
+    def test_cli_adaptive_flags(self, capsys, tmp_path):
+        code = sweep_cli.main(
+            [
+                "stake",
+                "--target-se",
+                "0.01",
+                "--max-trials",
+                "8192",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reused" in out  # the ledger-reuse column
+        assert "ledger:" in out  # chunk-level counters in the footer
+        assert "trials realized" in out
+
+    def test_cli_rejects_bad_precision_flags(self, capsys):
+        assert sweep_cli.main(["stake", "--target-se", "0"]) == 2
+        assert "--target-se" in capsys.readouterr().err
+        assert sweep_cli.main(["stake", "--rel-se", "-1"]) == 2
+        assert "--rel-se" in capsys.readouterr().err
+        assert sweep_cli.main(
+            ["stake", "--target-se", "0.01", "--max-trials", "0"]
+        ) == 2
+        assert "--max-trials" in capsys.readouterr().err
+        # --max-trials without any adaptive target is a no-op: reject it.
+        assert sweep_cli.main(["stake", "--max-trials", "5000"]) == 2
+        assert "only caps adaptive runs" in capsys.readouterr().err
+
+
+class TestLedgerReuseRows:
+    """run_grid rows expose the chunk-ledger split of their trials."""
+
+    GRID = SweepGrid(
+        name="t-ledger-rows",
+        base="iid-settlement",
+        axes=(("depth", (8, 12)),),
+        trials=2_048,
+        seed=70,
+        chunk_size=512,
+    )
+
+    def test_trials_bump_reuses_old_chunks(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_grid(self.GRID, cache=cache)
+        assert all(row["reused_trials"] == 0 for row in cold)
+        assert all(row["sampled_trials"] == 2_048 for row in cold)
+        bumped = run_grid(self.GRID, trials=4_096, cache=cache)
+        assert all(row["reused_trials"] == 2_048 for row in bumped)
+        assert all(row["sampled_trials"] == 2_048 for row in bumped)
+        assert all(not row["cached"] for row in bumped)
+        # The bumped rows are bit-identical to a cold 4096-trial run.
+        assert [row["value"] for row in bumped] == [
+            row["value"] for row in run_grid(self.GRID, trials=4_096)
+        ]
 
 
 class TestSeedAndOnly:

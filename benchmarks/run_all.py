@@ -1,6 +1,6 @@
 """Run the benchmark suite and record the engine performance baseline.
 
-Six jobs:
+Seven jobs:
 
 1. measure scalar-vs-batched throughput of the Monte-Carlo estimators
    (the batched-engine acceptance point: >= 10x on
@@ -26,7 +26,13 @@ Six jobs:
    and measure both query paths against recomputing the exact DP per
    query (floors: scalar >= 100x the DP, batch >= 50k queries/s) — the
    "oracle" record;
-6. optionally execute the pytest benchmark suite (skipped with
+6. run one fixed workload on every execution backend — serial, process,
+   array-namespace, and distributed (two localhost repro.worker
+   subprocesses) — assert the four estimates identical, and record
+   per-backend chunk throughput, the distributed-over-process overhead
+   ratio (floor: >= 0.5x on localhost), and the hot-kernel
+   temporaries-audit micro-bench — the "backend" record;
+7. optionally execute the pytest benchmark suite (skipped with
    --perf-only; shrunk with --quick for CI).  The suite inherits the
    cache via $REPRO_SWEEP_CACHE, so its sweep-driven benches also skip
    already-computed points.
@@ -442,6 +448,148 @@ def oracle_record(quick: bool, workers: int) -> dict:
     return record
 
 
+def _spawn_worker(env: dict) -> tuple[subprocess.Popen, str]:
+    """Start one ``python -m repro.worker`` subprocess; (proc, host:port)."""
+    import re
+
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.worker", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    match = re.match(r"listening on ([\d.]+):(\d+)", line)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"worker did not announce its port: {line!r}")
+    return process, f"{match.group(1)}:{match.group(2)}"
+
+
+def backend_record(quick: bool) -> dict:
+    """Chunks/s of one fixed workload on every execution backend.
+
+    Runs the same ``(scenario, estimator, trials, seed)`` workload on
+    the serial, process (2 workers), array (NumPy namespace), and
+    distributed (2 localhost ``repro.worker`` subprocesses) backends,
+    asserts all four estimates identical — the backend choice is purely
+    a wall-clock knob — and records per-backend chunk throughput plus
+    ``distributed_overhead_ratio`` (distributed over process chunks/s;
+    main() enforces the >= 0.5x localhost floor).  Worker/pool startup
+    runs before the timed region: the record measures steady-state
+    dispatch overhead, not interpreter boot.
+
+    The record also carries the hot-kernel micro-bench backing the
+    temporaries audit: per-call milliseconds of the settlement pipeline
+    stages after the in-place/rewrite pass (`prefix_sum_matrix` writing
+    through a column view with `out=`-accumulated cumsum,
+    `final_reaches` reduced to row min/max without materializing the
+    trajectory matrix, single-comparison honest masks, and the
+    reflected walk dropping its `(n, T+1)` floor matrix).
+    """
+    from repro.engine.distributed import DistributedBackend
+    from repro.engine.parallel import ProcessBackend, SerialBackend
+    from repro.engine.array_backend import ArrayBackend
+    from repro.engine.runner import ExperimentRunner
+    from repro.engine import kernels
+    import numpy as np
+
+    scenario = get_scenario("stake-sweep/alpha=0.3/frac=1")
+    chunk_size = 4096
+    trials = chunk_size * (8 if quick else 32)
+    seed = SEEDS["engine_scalar_vs_batched"]
+    chunks = trials // chunk_size
+    runner = ExperimentRunner(scenario, chunk_size=chunk_size)
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+
+    workers = []
+    estimates = {}
+    backends = {}
+    try:
+        worker_hosts = []
+        for _ in range(2):
+            process, address = _spawn_worker(env)
+            workers.append(process)
+            worker_hosts.append(address)
+
+        def timed(name, backend):
+            with backend:
+                runner.run(chunk_size, seed=seed, backend=backend)  # warm
+                seconds, estimate = _time(
+                    runner.run, trials, seed=seed, backend=backend
+                )
+            estimates[name] = estimate
+            backends[name] = {
+                "seconds": round(seconds, 4),
+                "chunks_per_second": round(chunks / seconds, 2),
+            }
+
+        timed("serial", SerialBackend())
+        timed("process", ProcessBackend(2))
+        timed("array", ArrayBackend())
+        timed(
+            "distributed",
+            DistributedBackend.from_spec(",".join(worker_hosts)),
+        )
+    finally:
+        for process in workers:
+            process.terminate()
+        for process in workers:
+            process.wait(timeout=10)
+
+    reference = estimates["serial"]
+    identical = all(value == reference for value in estimates.values())
+    assert identical, f"backend changed the estimate: {estimates}"
+
+    # Hot-kernel micro-bench (the temporaries-audit numbers): one
+    # settlement pipeline pass on a fixed matrix, per-stage timings.
+    rng = np.random.default_rng(seed)
+    uniforms = rng.random((chunk_size, 256))
+    symbols = kernels.symbols_from_uniforms(scenario.probabilities, uniforms)
+    for _ in range(2):  # warm ufunc/allocator
+        kernels.final_reaches(symbols)
+    sums_s, _sums = _time(kernels.prefix_sum_matrix, symbols)
+    final_s, _ = _time(kernels.final_reaches, symbols)
+    walk_s, _ = _time(
+        kernels.reflected_walk_heights_from_uniforms, 0.1, uniforms
+    )
+    kernel_bench = {
+        "matrix_shape": list(symbols.shape),
+        "prefix_sum_matrix_ms": round(sums_s * 1e3, 3),
+        "final_reaches_ms": round(final_s * 1e3, 3),
+        "reflected_walk_ms": round(walk_s * 1e3, 3),
+    }
+
+    return {
+        "workload": scenario.name,
+        "trials": trials,
+        "chunk_size": chunk_size,
+        "chunks": chunks,
+        "identical_estimates": identical,
+        "backends": backends,
+        "distributed_overhead_ratio": round(
+            backends["distributed"]["chunks_per_second"]
+            / backends["process"]["chunks_per_second"],
+            3,
+        ),
+        "kernels": kernel_bench,
+        "temporaries_audit": (
+            "prefix_sum_matrix fills a [:, 1:] view and accumulates with "
+            "out=; final_reaches/reflected walk reduce to per-row "
+            "min/max without trajectory or floor matrices; honest masks "
+            "are one comparison (codes < CODE_ADVERSARIAL); no float64 "
+            "round-trips outside the uniform draws themselves"
+        ),
+    }
+
+
 def run_bench_suite(quick: bool) -> int:
     """Execute the pytest benchmark files (assertion mode, timings off)."""
     # bench_*.py does not match pytest's default python_files pattern, so
@@ -504,6 +652,7 @@ def main() -> int:
     record["sweep"] = sweep_record(args.quick, args.workers)
     record["adaptive"] = adaptive_record(args.quick, args.workers)
     record["oracle"] = oracle_record(args.quick, args.workers)
+    record["backend"] = backend_record(args.quick)
     out = REPO_ROOT / "BENCH_engine.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
     for entry in record["results"]:
@@ -562,6 +711,16 @@ def main() -> int:
         f"{oracle['single_query_microseconds']}us "
         f"({oracle['per_query_speedup']}x over the DP), batch "
         f"{oracle['batch_queries_per_second']} queries/s"
+    )
+    backend = record["backend"]
+    throughput = ", ".join(
+        f"{name} {entry['chunks_per_second']} chunks/s"
+        for name, entry in backend["backends"].items()
+    )
+    print(
+        f"backend '{backend['workload']}': {throughput} "
+        f"(identical estimates, distributed/process "
+        f"{backend['distributed_overhead_ratio']}x)"
     )
     print(f"perf record written to {out}")
 
@@ -622,6 +781,16 @@ def main() -> int:
         print(
             "FAIL: oracle batch path below the 50k queries/s floor "
             f"({oracle['batch_queries_per_second']}/s)",
+            file=sys.stderr,
+        )
+        return 1
+    if not backend["identical_estimates"]:
+        print("FAIL: a backend changed the estimate", file=sys.stderr)
+        return 1
+    if backend["distributed_overhead_ratio"] < 0.5:
+        print(
+            "FAIL: distributed backend below the 0.5x-of-process "
+            f"localhost floor ({backend['distributed_overhead_ratio']}x)",
             file=sys.stderr,
         )
         return 1

@@ -20,7 +20,14 @@ Five layers (bottom to top):
   :class:`SweepGrid` expands parameter grids into scenario points,
   :class:`ProcessBackend` fans chunks across cores with identical
   results, and :class:`ResultCache` content-addresses every computed
-  point on disk so nothing is estimated twice.
+  point on disk so nothing is estimated twice.  Two further backends
+  drive the same chunk contract elsewhere:
+  :class:`~repro.engine.array_backend.ArrayBackend` evaluates chunks
+  through an array-API namespace (NumPy, CuPy, …; see
+  :mod:`repro.engine.array_api`) and
+  :class:`~repro.engine.distributed.DistributedBackend` ships them to
+  ``python -m repro.worker`` hosts over a socket protocol — all four
+  backends are bit-identical by the per-chunk seed-tree contract.
 * :mod:`repro.engine.protocol` — the protocol-execution workload:
   :class:`ProtocolScenario` describes a full Section 2 protocol
   configuration, samples batches of independent ``Simulation`` runs
@@ -57,11 +64,20 @@ from repro.engine.runner import (
 )
 from repro.engine.cache import ResultCache, cache_from_env
 from repro.engine.parallel import (
+    WORKERS_ENV,
     Backend,
     ProcessBackend,
     SerialBackend,
     default_workers,
 )
+from repro.engine.array_api import (
+    array_namespace,
+    default_namespace,
+    set_default_namespace,
+    use_namespace,
+)
+from repro.engine.array_backend import ArrayBackend, run_chunk_array
+from repro.engine.distributed import DistributedBackend, RemoteTaskError
 from repro.engine.protocol import (
     ProtocolBatch,
     ProtocolRunner,
@@ -82,8 +98,10 @@ from repro.engine.sweeps import (
 )
 
 __all__ = [
+    "ArrayBackend",
     "Backend",
     "Batch",
+    "DistributedBackend",
     "Estimate",
     "ExperimentRunner",
     "ProtocolBatch",
@@ -92,15 +110,19 @@ __all__ = [
     "NoConsecutiveCatalanInWindow",
     "NoUniqueCatalanInWindow",
     "ProcessBackend",
+    "RemoteTaskError",
     "ResultCache",
     "RunReport",
     "Scenario",
     "SerialBackend",
     "SweepGrid",
     "SweepPoint",
+    "WORKERS_ENV",
     "adversarial_stake_sweep",
+    "array_namespace",
     "cache_from_env",
     "chunk_sizes",
+    "default_namespace",
     "default_workers",
     "delta_settlement_violation",
     "estimate_from_hits",
@@ -116,7 +138,10 @@ __all__ = [
     "register",
     "register_grid",
     "run_chunk",
+    "run_chunk_array",
     "run_grid",
+    "set_default_namespace",
+    "use_namespace",
     "run_protocol_scalar",
     "run_scenario",
     "scenario_names",

@@ -1,0 +1,173 @@
+"""Array-namespace dispatch for the batched kernels.
+
+The hot kernels in :mod:`repro.engine.kernels` are written against a
+*namespace* ``xp`` instead of the ``numpy`` module directly: every
+kernel resolves the namespace of its input arrays with
+:func:`array_namespace` and issues all array operations through it.
+One code path therefore serves NumPy on the CPU and any NumPy-compatible
+accelerator namespace (CuPy on CUDA, or a shim around another array-API
+implementation) — the only difference between backends is *where* the
+arrays live.
+
+Resolution rule
+---------------
+
+``array_namespace(*arrays)`` returns, in order of preference:
+
+1. the namespace an input array declares through the standard
+   ``__array_namespace__`` protocol (NumPy ≥ 2 ndarrays return the
+   ``numpy`` module; accelerator arrays return their own);
+2. the **module-level default** namespace (``numpy`` unless changed via
+   :func:`set_default_namespace` / the :func:`use_namespace` context
+   manager) for arrays that predate the protocol.
+
+Inputs win over the default on purpose: a kernel fed device arrays must
+compute on the device even while the process default is NumPy, and vice
+versa — mixing is the caller's bug, not something to silently "fix" by
+copying across namespaces.
+
+Namespace requirements
+----------------------
+
+The kernels need the *NumPy-compatible subset*, not the minimal
+array-API standard: ``zeros``/``empty``/``full``/``asarray``/``arange``,
+``where``/``minimum``/``maximum``, ``cumsum(axis=)``, boolean and
+integer fancy indexing, and in-place slice assignment.  CuPy provides
+all of it.  Namespaces without ufunc ``.accumulate`` (strict array-API
+modules) are still served: :func:`prefix_minimum` / :func:`prefix_maximum`
+fall back to a log-step Hillis–Steele scan built from ``minimum`` /
+``maximum`` alone.
+
+Bit-identity contract
+---------------------
+
+All randomness is drawn on the host from ``numpy.random.Generator`` and
+shipped to the namespace as-is, so every backend consumes *identical*
+uniform bits.  The kernels' integer recurrences are exact on any
+conforming namespace; the few float comparisons (symbol thresholds,
+initial-reach logs) are bit-identical wherever the namespace implements
+IEEE-754 double semantics (CuPy does).  Namespaces that do not must be
+run with an explicit ulp-tolerance (see
+:class:`repro.engine.array_backend.ArrayBackend`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = [
+    "array_namespace",
+    "default_namespace",
+    "prefix_maximum",
+    "prefix_minimum",
+    "set_default_namespace",
+    "to_namespace",
+    "to_numpy",
+    "use_namespace",
+]
+
+_DEFAULT_NAMESPACE = np
+
+
+def default_namespace():
+    """The namespace used for arrays that declare none (default NumPy)."""
+    return _DEFAULT_NAMESPACE
+
+
+def set_default_namespace(namespace) -> None:
+    """Replace the module-level default namespace.
+
+    The namespace must provide the NumPy-compatible subset documented in
+    the module docstring.  Prefer the :func:`use_namespace` context
+    manager, which restores the previous default on exit.
+    """
+    global _DEFAULT_NAMESPACE
+    if not hasattr(namespace, "asarray"):
+        raise TypeError(
+            f"{namespace!r} does not look like an array namespace "
+            "(no asarray)"
+        )
+    _DEFAULT_NAMESPACE = namespace
+
+
+@contextlib.contextmanager
+def use_namespace(namespace):
+    """Temporarily install ``namespace`` as the module-level default."""
+    previous = _DEFAULT_NAMESPACE
+    set_default_namespace(namespace)
+    try:
+        yield namespace
+    finally:
+        set_default_namespace(previous)
+
+
+def array_namespace(*arrays):
+    """The namespace the given arrays compute in (see module docstring).
+
+    The first array that implements ``__array_namespace__`` decides;
+    arrays without the protocol fall through to the module default.
+    """
+    for array in arrays:
+        probe = getattr(array, "__array_namespace__", None)
+        if probe is not None:
+            return probe()
+    return _DEFAULT_NAMESPACE
+
+
+def to_namespace(namespace, array):
+    """Convert a host array into ``namespace`` (no-op for NumPy-on-NumPy)."""
+    if namespace is np and isinstance(array, np.ndarray):
+        return array
+    return namespace.asarray(array)
+
+
+def to_numpy(array) -> np.ndarray:
+    """Convert a namespace array back to a host ``numpy.ndarray``.
+
+    Device arrays come back through their ``.get()`` (the CuPy
+    device-to-host copy); everything else through ``numpy.asarray``.
+    """
+    if isinstance(array, np.ndarray):
+        return array
+    getter = getattr(array, "get", None)
+    if getter is not None:
+        return np.asarray(getter())
+    return np.asarray(array)
+
+
+def _scan(namespace, matrix, combine):
+    """Hillis–Steele inclusive scan along axis 1 using only ``combine``.
+
+    O(T log T) work but fully vectorized — the fallback for namespaces
+    whose ufuncs lack ``.accumulate``.  ``combine`` must be associative
+    (minimum / maximum are).
+    """
+    out = namespace.asarray(matrix).copy()
+    width = out.shape[1]
+    shift = 1
+    while shift < width:
+        out[:, shift:] = combine(out[:, shift:], out[:, :-shift])
+        shift *= 2
+    return out
+
+
+def prefix_minimum(namespace, matrix):
+    """Running row minimum (``minimum.accumulate`` or the scan fallback)."""
+    accumulate = getattr(
+        getattr(namespace, "minimum", None), "accumulate", None
+    )
+    if accumulate is not None:
+        return accumulate(matrix, axis=1)
+    return _scan(namespace, matrix, namespace.minimum)
+
+
+def prefix_maximum(namespace, matrix):
+    """Running row maximum (``maximum.accumulate`` or the scan fallback)."""
+    accumulate = getattr(
+        getattr(namespace, "maximum", None), "accumulate", None
+    )
+    if accumulate is not None:
+        return accumulate(matrix, axis=1)
+    return _scan(namespace, matrix, namespace.maximum)

@@ -1,0 +1,211 @@
+"""Accelerator execution backend: chunk estimation through an array namespace.
+
+:class:`ArrayBackend` implements the :class:`repro.engine.parallel.Backend`
+protocol but, instead of shipping chunks to other processes, evaluates
+them in-process through a chosen array namespace — NumPy (the default,
+making it an alternative :class:`~repro.engine.parallel.SerialBackend`),
+CuPy on a GPU, or any NumPy-compatible namespace (see
+:mod:`repro.engine.array_api` for the required subset).
+
+Boundary discipline
+-------------------
+
+Each chunk is sampled on the **host**: the chunk's spawned
+``SeedSequence`` child feeds a ``numpy.random.Generator`` exactly as on
+every other backend, so the uniform bit stream is identical everywhere.
+The sampled :class:`~repro.engine.scenarios.Batch` is then converted
+into the namespace, the estimator runs entirely inside it (the kernels
+dispatch off their inputs), and only the boolean hit vector crosses back
+to the host to be counted.  Per-chunk traffic is therefore one
+device upload of the symbol matrix and one download of ``trials``
+booleans.
+
+Parity contract
+---------------
+
+``parity`` controls the backend's self-check against the NumPy path:
+
+* ``"bitwise"`` (the default for non-NumPy namespaces) — every chunk is
+  *also* evaluated with NumPy on the same sampled batch and the two hit
+  vectors must agree element-for-element.  This is the right mode for
+  namespaces with IEEE-754 double semantics (CuPy): the integer
+  recurrences are exact and the float threshold comparisons bit-identical,
+  so any mismatch is a real bug, not noise.
+* an integer ``n ≥ 0`` — ulp-tolerance fallback for namespaces *without*
+  IEEE guarantees: per-chunk hit **counts** may differ by at most ``n``
+  (a threshold comparison can flip only for uniforms within an ulp of a
+  boundary, so the honest bound is tiny).  The backend's result is still
+  the namespace's own count — the tolerance only bounds the drift.
+* ``None`` — trust the namespace, skip the shadow evaluation (what a
+  production GPU run uses once the namespace has been validated; also
+  the automatic mode when the namespace *is* NumPy, where the shadow
+  would literally re-run the same code).
+
+Scenarios whose batches are not array batches (the protocol workloads
+sample ``Simulation`` objects) fall back to the plain NumPy path — the
+backend never changes a result, only where it is computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.array_api import to_namespace, to_numpy, use_namespace
+from repro.engine.runner import Estimator
+from repro.engine.scenarios import Batch, Scenario
+
+__all__ = ["ArrayBackend", "run_chunk_array"]
+
+
+class _ImmediateFuture:
+    """A pre-resolved stand-in for ``concurrent.futures.Future``."""
+
+    def __init__(self, value) -> None:
+        self._value = value
+
+    def result(self):
+        return self._value
+
+
+def _namespace_batch(namespace, batch: Batch) -> Batch:
+    """Upload a host batch into ``namespace`` (field-for-field)."""
+    return Batch(
+        symbols=to_namespace(namespace, batch.symbols),
+        start_columns=to_namespace(namespace, batch.start_columns),
+        initial_reaches=(
+            None
+            if batch.initial_reaches is None
+            else to_namespace(namespace, batch.initial_reaches)
+        ),
+        lengths=to_namespace(namespace, batch.lengths),
+    )
+
+
+def run_chunk_array(
+    scenario: Scenario,
+    estimator: Estimator,
+    size: int,
+    seed_sequence: np.random.SeedSequence,
+    namespace,
+    parity: str | int | None = "bitwise",
+) -> int:
+    """Sample one chunk on the host, evaluate it in ``namespace``.
+
+    The namespace sibling of :func:`repro.engine.runner.run_chunk`:
+    same seed discipline, same hit-count return, with the estimator's
+    array work routed through ``namespace`` and the parity contract of
+    the module docstring enforced against the NumPy path.
+    """
+    generator = np.random.default_rng(seed_sequence)
+    batch = scenario.sample_batch(size, generator)
+    if not isinstance(batch, Batch):
+        # Non-array workloads (protocol simulations): nothing for the
+        # namespace to accelerate, evaluate exactly as run_chunk would.
+        hits = np.asarray(estimator(scenario, batch))
+        _check_shape(hits, size)
+        return int(hits.sum())
+
+    if namespace is np:
+        hits = np.asarray(estimator(scenario, batch))
+        _check_shape(hits, size)
+        return int(hits.sum())
+
+    with use_namespace(namespace):
+        device_hits = estimator(scenario, _namespace_batch(namespace, batch))
+    hits = to_numpy(device_hits)
+    _check_shape(hits, size)
+    count = int(hits.sum())
+
+    if parity is not None:
+        reference = np.asarray(estimator(scenario, batch))
+        _check_shape(reference, size)
+        if parity == "bitwise":
+            if not np.array_equal(hits, reference):
+                diverged = int(np.sum(hits != reference))
+                raise AssertionError(
+                    f"namespace {namespace.__name__!r} diverged from the "
+                    f"NumPy path on {diverged}/{size} trials of a chunk; "
+                    "if the namespace does not guarantee IEEE-754 double "
+                    "semantics, run with an integer ulp tolerance "
+                    "(parity=<max hit drift>) instead of 'bitwise'"
+                )
+        else:
+            drift = abs(count - int(reference.sum()))
+            if drift > int(parity):
+                raise AssertionError(
+                    f"namespace {namespace.__name__!r} hit count drifted "
+                    f"by {drift} > tolerance {parity} on a chunk of {size}"
+                )
+    return count
+
+
+def _check_shape(hits: np.ndarray, size: int) -> None:
+    if hits.shape != (size,):
+        raise ValueError(
+            "estimator must return one boolean per trial, got shape "
+            f"{hits.shape} for chunk of {size}"
+        )
+
+
+class ArrayBackend:
+    """In-process backend evaluating chunks through an array namespace.
+
+    ``namespace`` defaults to NumPy (useful as a drop-in
+    :class:`~repro.engine.parallel.SerialBackend` that exercises the
+    dispatch path); pass ``cupy`` — or any NumPy-compatible namespace —
+    to run the kernels on an accelerator.  ``parity`` is the self-check
+    mode documented in the module docstring; the default ``"bitwise"``
+    is automatically skipped when the namespace is NumPy itself.
+
+    Satisfies the full :class:`~repro.engine.parallel.Backend` protocol:
+    ``submit_chunks`` for estimation fan-out and ``submit_task`` for
+    generic pure tasks (evaluated eagerly on the host — DP cells and
+    other non-array work gain nothing from the namespace).
+    """
+
+    def __init__(
+        self, namespace=None, parity: str | int | None = "bitwise"
+    ) -> None:
+        self.namespace = np if namespace is None else namespace
+        if parity is not None and parity != "bitwise":
+            parity = int(parity)
+            if parity < 0:
+                raise ValueError("ulp tolerance must be >= 0")
+        self.parity = parity
+
+    def submit_task(self, function, /, *args) -> _ImmediateFuture:
+        """Evaluate an arbitrary pure task now; a resolved future."""
+        return _ImmediateFuture(function(*args))
+
+    def submit_chunks(
+        self,
+        scenario: Scenario,
+        estimator: Estimator,
+        sizes: list[int],
+        children: list[np.random.SeedSequence],
+    ) -> list[_ImmediateFuture]:
+        """Evaluate every chunk in the namespace; resolved futures."""
+        if len(sizes) != len(children):
+            raise ValueError("one SeedSequence child per chunk required")
+        return [
+            _ImmediateFuture(
+                run_chunk_array(
+                    scenario,
+                    estimator,
+                    size,
+                    child,
+                    self.namespace,
+                    self.parity,
+                )
+            )
+            for size, child in zip(sizes, children)
+        ]
+
+    def close(self) -> None:
+        """Nothing to tear down (interface parity with the pool backends)."""
+
+    def __enter__(self) -> "ArrayBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

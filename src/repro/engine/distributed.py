@@ -1,0 +1,412 @@
+"""Multi-host execution backend: chunks over a socket wire protocol.
+
+:class:`DistributedBackend` implements the
+:class:`repro.engine.parallel.Backend` protocol by shipping pickled work
+items to ``python -m repro.worker`` processes on other hosts and merging
+the returned hit counts back into the caller's futures (and, through the
+runner, into the chunk ledger).  Because a chunk is a pure function of
+``(scenario, estimator, size, seed)`` — the seed shipped as the spawned
+child's ``(entropy, spawn_key)`` pair, which reconstructs the exact
+``SeedSequence`` on any host — distribution preserves the engine's
+serial ≡ parallel ≡ distributed bit-identity contract: every backend
+produces the same per-chunk counts, so re-execution after a worker loss
+is always safe (at-least-once delivery, exactly-once *semantics*).
+
+Wire protocol
+-------------
+
+One TCP connection per worker, length-prefixed pickle frames both ways:
+
+* frame   = 8-byte big-endian payload length ``n`` + ``n`` bytes of
+  ``pickle.dumps(obj)``;
+* request = ``{"op": ..., ...}`` with ops ``ping`` (liveness),
+  ``chunk`` (``scenario``, ``fingerprint``, ``estimator``, ``size``,
+  ``entropy``, ``spawn_key``), ``task`` (``function``, ``args``), and
+  ``shutdown`` (graceful worker exit);
+* reply   = ``{"ok": True, "result": ...}`` or ``{"ok": False,
+  "error": <traceback string>}``.
+
+Requests are answered in order on each connection; the backend keeps at
+most one request in flight per worker, so the worker needs no request
+ids.  Frames above :data:`MAX_FRAME_BYTES` are refused before
+deserialising — a corrupted length prefix must not trigger a
+multi-gigabyte allocation.
+
+Failure semantics
+-----------------
+
+Each worker is driven by one client thread pulling from a shared work
+queue.  A *transport* failure (connect refused, send/recv error, the
+per-request ``timeout``) requeues the item — another worker, or this one
+after reconnecting, will re-execute it — and the thread reconnects with
+exponential backoff.  A thread that exhausts its reconnect attempts
+retires; when the *last* thread retires the queue is drained and every
+pending future fails with :class:`ConnectionError`.  A *remote* failure
+(the worker ran the item and replied ``ok: False``) is deterministic, so
+it is raised as :class:`RemoteTaskError` without retry — re-running a
+pure function cannot change its outcome.
+
+Security: the protocol is pickle over plain TCP — run workers only on
+hosts and networks you trust, exactly as you would a Dask or
+``multiprocessing.managers`` cluster.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import struct
+import threading
+from concurrent.futures import Future
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.cache import scenario_fingerprint
+from repro.engine.runner import Estimator
+from repro.engine.scenarios import Scenario
+
+__all__ = [
+    "DistributedBackend",
+    "ProtocolError",
+    "RemoteTaskError",
+    "recv_message",
+    "send_message",
+]
+
+#: Struct format of the frame header: one unsigned 64-bit length.
+HEADER_FORMAT = ">Q"
+HEADER_BYTES = struct.calcsize(HEADER_FORMAT)
+
+#: Refuse frames larger than this before allocating for them (1 GiB).
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """The wire stream violated the framing contract."""
+
+
+class RemoteTaskError(RuntimeError):
+    """A worker executed a work item and reported a Python error."""
+
+
+def send_message(sock: socket.socket, message: object) -> None:
+    """Write one length-prefixed pickle frame to ``sock``."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(struct.pack(HEADER_FORMAT, len(payload)) + payload)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a frame
+    boundary, :class:`ProtocolError` on EOF mid-frame."""
+    parts: list[bytes] = []
+    remaining = count
+    while remaining:
+        piece = sock.recv(min(remaining, 1 << 20))
+        if not piece:
+            if remaining == count and not parts:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({remaining} bytes short)"
+            )
+        parts.append(piece)
+        remaining -= len(piece)
+    return b"".join(parts)
+
+
+def recv_message(sock: socket.socket) -> object | None:
+    """Read one frame from ``sock``; ``None`` on clean end-of-stream."""
+    header = _recv_exactly(sock, HEADER_BYTES)
+    if header is None:
+        return None
+    (length,) = struct.unpack(HEADER_FORMAT, header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds protocol cap")
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed before frame payload")
+    return pickle.loads(payload)
+
+
+def chunk_message(
+    scenario: Scenario,
+    estimator: Estimator,
+    size: int,
+    child: np.random.SeedSequence,
+) -> dict:
+    """The wire form of one chunk work item.
+
+    The seed travels as the child's ``(entropy, spawn_key)`` pair —
+    ``SeedSequence(entropy, spawn_key=spawn_key)`` reconstructs the
+    spawned child exactly (NumPy's documented spawn contract), making
+    the item self-describing and host-independent.  ``fingerprint``
+    rides along so workers and logs can name the scenario without
+    re-deriving it.
+    """
+    return {
+        "op": "chunk",
+        "scenario": scenario,
+        "fingerprint": scenario_fingerprint(scenario),
+        "estimator": estimator,
+        "size": size,
+        "entropy": child.entropy,
+        "spawn_key": tuple(child.spawn_key),
+    }
+
+
+class _WorkItem:
+    __slots__ = ("message", "future", "failures")
+
+    def __init__(self, message: dict, future: Future) -> None:
+        self.message = message
+        self.future = future
+        self.failures = 0
+
+
+def parse_hosts(spec: str | Sequence[str]) -> list[tuple[str, int]]:
+    """Parse ``"host:port,host:port"`` (or a sequence of such entries).
+
+    A bare ``:port`` entry means localhost.  Raises ``ValueError`` on
+    malformed entries rather than guessing.
+    """
+    if isinstance(spec, str):
+        entries = [part for part in spec.split(",") if part.strip()]
+    else:
+        entries = list(spec)
+    hosts: list[tuple[str, int]] = []
+    for entry in entries:
+        host, separator, port_text = entry.strip().rpartition(":")
+        if not separator or not port_text.isdigit():
+            raise ValueError(
+                f"host entry {entry!r} is not of the form host:port"
+            )
+        hosts.append((host or "127.0.0.1", int(port_text)))
+    if not hosts:
+        raise ValueError("at least one worker host is required")
+    return hosts
+
+
+class DistributedBackend:
+    """Backend fanning chunks out to ``repro.worker`` hosts.
+
+    ``hosts`` is a list of ``(host, port)`` pairs (or use
+    :meth:`from_spec` for the CLI's ``"host:port,host:port"`` form);
+    each host runs one ``python -m repro.worker`` process.  ``timeout``
+    bounds every round trip — size chunks so evaluation fits well
+    inside it, since a timed-out chunk is re-executed elsewhere.
+    ``max_failures`` caps transport-level re-deliveries *per item*
+    before its future fails (defaults to three tries per worker).
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[tuple[str, int]],
+        timeout: float = 120.0,
+        max_failures: int | None = None,
+        reconnect_attempts: int = 6,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        self.hosts = list(hosts)
+        if not self.hosts:
+            raise ValueError("at least one worker host is required")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self.max_failures = (
+            3 * len(self.hosts) if max_failures is None else max_failures
+        )
+        self.reconnect_attempts = reconnect_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._queue: queue.Queue[_WorkItem] = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._alive = 0
+        self._closed = threading.Event()
+
+    @classmethod
+    def from_spec(cls, spec: str, **kwargs) -> "DistributedBackend":
+        """Build a backend from a ``"host:port,host:port"`` string."""
+        return cls(parse_hosts(spec), **kwargs)
+
+    # -- Backend protocol -------------------------------------------------
+
+    def submit_task(self, function, /, *args) -> Future:
+        """Ship one pure, picklable task to a worker; its future."""
+        return self._enqueue({"op": "task", "function": function, "args": args})
+
+    def submit_chunks(
+        self,
+        scenario: Scenario,
+        estimator: Estimator,
+        sizes: list[int],
+        children: list[np.random.SeedSequence],
+    ) -> list[Future]:
+        """Ship one chunk per (size, child); futures in chunk order."""
+        if len(sizes) != len(children):
+            raise ValueError("one SeedSequence child per chunk required")
+        return [
+            self._enqueue(chunk_message(scenario, estimator, size, child))
+            for size, child in zip(sizes, children)
+        ]
+
+    def ping(self) -> int:
+        """Round-trip a liveness probe; the number of reachable hosts."""
+        reachable = 0
+        for host in self.hosts:
+            try:
+                with socket.create_connection(host, timeout=self.timeout) as s:
+                    s.settimeout(self.timeout)
+                    send_message(s, {"op": "ping"})
+                    reply = recv_message(s)
+                if isinstance(reply, dict) and reply.get("ok"):
+                    reachable += 1
+            except OSError:
+                continue
+        return reachable
+
+    def close(self) -> None:
+        """Stop the client threads; pending futures fail (idempotent).
+
+        Does *not* stop the worker processes — they belong to whoever
+        started them and may be serving other clients.  Use
+        :meth:`shutdown_workers` to take the cluster down too.
+        """
+        self._closed.set()
+        for thread in self._threads:
+            thread.join(timeout=self.timeout + 5.0)
+        self._threads.clear()
+        self._drain(ConnectionError("backend closed with work pending"))
+
+    def shutdown_workers(self) -> None:
+        """Ask every reachable worker to exit gracefully."""
+        for host in self.hosts:
+            try:
+                with socket.create_connection(host, timeout=5.0) as s:
+                    s.settimeout(5.0)
+                    send_message(s, {"op": "shutdown"})
+                    recv_message(s)
+            except OSError:
+                continue
+
+    def __enter__(self) -> "DistributedBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- client threads ---------------------------------------------------
+
+    def _enqueue(self, message: dict) -> Future:
+        if self._closed.is_set():
+            raise RuntimeError("backend is closed")
+        self._ensure_threads()
+        with self._lock:
+            if self._alive == 0:
+                raise ConnectionError(
+                    f"all {len(self.hosts)} worker hosts were lost"
+                )
+        future: Future = Future()
+        self._queue.put(_WorkItem(message, future))
+        return future
+
+    def _ensure_threads(self) -> None:
+        with self._lock:
+            if self._threads:
+                return
+            self._alive = len(self.hosts)
+            for host in self.hosts:
+                thread = threading.Thread(
+                    target=self._serve_host,
+                    args=(host,),
+                    name=f"repro-distributed-{host[0]}:{host[1]}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def _serve_host(self, host: tuple[str, int]) -> None:
+        try:
+            while not self._closed.is_set():
+                sock = self._connect(host)
+                if sock is None:
+                    return  # backoff exhausted: retire this worker.
+                try:
+                    self._pump(sock)
+                finally:
+                    sock.close()
+        finally:
+            with self._lock:
+                self._alive -= 1
+                last = self._alive == 0
+            if last and not self._closed.is_set():
+                self._drain(
+                    ConnectionError(
+                        f"all {len(self.hosts)} worker hosts were lost"
+                    )
+                )
+
+    def _connect(self, host: tuple[str, int]) -> socket.socket | None:
+        """Connect with exponential backoff; ``None`` when giving up."""
+        delay = self.backoff_base
+        for attempt in range(self.reconnect_attempts):
+            if self._closed.is_set():
+                return None
+            try:
+                sock = socket.create_connection(host, timeout=self.timeout)
+                sock.settimeout(self.timeout)
+                return sock
+            except OSError:
+                if attempt + 1 == self.reconnect_attempts:
+                    return None
+                self._closed.wait(delay)
+                delay = min(delay * 2, self.backoff_cap)
+        return None
+
+    def _pump(self, sock: socket.socket) -> None:
+        """Drive one connection until it breaks or the backend closes."""
+        while not self._closed.is_set():
+            try:
+                item = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            try:
+                send_message(sock, item.message)
+                reply = recv_message(sock)
+            except (OSError, ProtocolError, pickle.PickleError) as error:
+                self._requeue(item, error)
+                return  # transport is suspect: reconnect.
+            if not isinstance(reply, dict) or "ok" not in reply:
+                self._requeue(
+                    item, ProtocolError(f"malformed worker reply: {reply!r}")
+                )
+                return
+            if reply["ok"]:
+                item.future.set_result(reply["result"])
+            else:
+                # The worker *ran* the item and it raised: deterministic,
+                # so surface it instead of re-executing elsewhere.
+                item.future.set_exception(RemoteTaskError(reply["error"]))
+
+    def _requeue(self, item: _WorkItem, error: Exception) -> None:
+        item.failures += 1
+        if item.failures >= self.max_failures:
+            item.future.set_exception(
+                ConnectionError(
+                    f"work item failed {item.failures} transport attempts; "
+                    f"last error: {error!r}"
+                )
+            )
+        else:
+            self._queue.put(item)
+
+    def _drain(self, error: Exception) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if not item.future.done():
+                item.future.set_exception(error)

@@ -39,7 +39,56 @@ import numpy as np
 from repro.engine.runner import Estimator, run_chunk
 from repro.engine.scenarios import Scenario
 
-__all__ = ["Backend", "ProcessBackend", "SerialBackend", "default_workers"]
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "ProcessBackend",
+    "SerialBackend",
+    "WORKERS_ENV",
+    "default_workers",
+    "make_backend",
+]
+
+#: Names accepted by :func:`make_backend` (the CLI ``--backend`` values).
+BACKEND_NAMES = ("serial", "process", "array", "distributed")
+
+
+def make_backend(
+    name: str,
+    workers: int | None = None,
+    hosts: str | None = None,
+) -> "Backend":
+    """Construct a backend from its CLI name; caller owns ``close()``.
+
+    The single factory behind every ``--backend`` flag (sweep CLI,
+    oracle builder, benchmarks): ``serial``, ``process`` (pool of
+    ``workers``), ``array`` (in-process array-namespace evaluation;
+    NumPy unless :func:`repro.engine.array_api.set_default_namespace`
+    chose otherwise), or ``distributed`` (``hosts`` is the required
+    ``"host:port,host:port"`` worker list).  Imports lazily so the
+    serial/process path never pays for the socket or namespace
+    machinery.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(workers)
+    if name == "array":
+        from repro.engine.array_api import default_namespace
+        from repro.engine.array_backend import ArrayBackend
+
+        return ArrayBackend(default_namespace())
+    if name == "distributed":
+        if not hosts:
+            raise ValueError(
+                "--backend distributed requires --hosts host:port[,host:port]"
+            )
+        from repro.engine.distributed import DistributedBackend
+
+        return DistributedBackend.from_spec(hosts)
+    raise ValueError(
+        f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
+    )
 
 
 @runtime_checkable
@@ -69,12 +118,31 @@ class Backend(Protocol):
         ...  # pragma: no cover - protocol signature only
 
 
+#: Environment variable pinning :func:`default_workers` (positive int).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
 def default_workers() -> int:
     """A sensible worker count for this machine: the CPU count.
 
+    A positive integer in ``$REPRO_WORKERS`` overrides the detected
+    count — CI runners and ``python -m repro.worker`` hosts pin their
+    core budget through it without code changes (anything non-numeric
+    or < 1 is rejected loudly rather than silently ignored).  Otherwise
     ``os.process_cpu_count`` (affinity-aware, Python ≥ 3.13) when
     available, else ``os.cpu_count()``, floored at 1.
     """
+    pinned = os.environ.get(WORKERS_ENV)
+    if pinned is not None:
+        try:
+            workers = int(pinned)
+        except ValueError:
+            workers = 0
+        if workers < 1:
+            raise ValueError(
+                f"${WORKERS_ENV} must be a positive integer, got {pinned!r}"
+            )
+        return workers
     counter = getattr(os, "process_cpu_count", os.cpu_count)
     return max(counter() or 1, 1)
 
@@ -123,6 +191,15 @@ class SerialBackend:
             _ImmediateFuture(run_chunk(scenario, estimator, size, child))
             for size, child in zip(sizes, children)
         ]
+
+    def close(self) -> None:
+        """Nothing to tear down (uniform ``make_backend`` lifecycle)."""
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class ProcessBackend:

@@ -140,11 +140,12 @@ def delta_settlement_violation(scenario: Scenario, batch: Batch) -> np.ndarray:
     :func:`repro.delta.settlement.is_k_delta_settled`.  Rows whose target
     slot was empty (start column ``−1``) are vacuously settled.
     """
+    xp = kernels.array_namespace(batch.symbols)
     starts = batch.start_columns
     margins = kernels.margin_trajectories(
-        batch.symbols, np.maximum(starts, 0), batch.initial_reaches
+        batch.symbols, xp.maximum(starts, 0), batch.initial_reaches
     )
-    columns = np.arange(margins.shape[1])[None, :]
+    columns = xp.arange(margins.shape[1])[None, :]
     in_window = (columns >= (starts + scenario.depth)[:, None]) & (
         columns <= batch.lengths[:, None]
     )

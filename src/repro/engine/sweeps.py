@@ -47,7 +47,7 @@ from repro.core.distributions import (
     from_adversarial_stake,
 )
 from repro.engine.cache import ResultCache
-from repro.engine.parallel import ProcessBackend, SerialBackend
+from repro.engine.parallel import Backend, ProcessBackend, SerialBackend
 from repro.engine.protocol import (
     PROTOCOL_CHUNK_SIZE,
     protocol_cp_violation,
@@ -266,7 +266,7 @@ def run_grid(
     trials: int | None = None,
     workers: int = 1,
     cache: ResultCache | None = None,
-    backend: ProcessBackend | None = None,
+    backend: Backend | None = None,
     seed: int | None = None,
     only: dict | None = None,
     target_se: float | None = None,
@@ -285,7 +285,11 @@ def run_grid(
     ``workers > 1`` opens one shared :class:`ProcessBackend` for the
     whole grid (per-point estimates are bit-identical to a serial run —
     the runner's per-chunk seed tree does not depend on the backend).
-    An already-open ``backend`` is reused and left running.
+    An already-open ``backend`` — *any*
+    :class:`~repro.engine.parallel.Backend`: process pool,
+    :class:`~repro.engine.array_backend.ArrayBackend`, or
+    :class:`~repro.engine.distributed.DistributedBackend` — is reused
+    and left running; it takes precedence over ``workers``.
 
     ``seed`` overrides the grid's base seed (point ``i`` then runs with
     ``seed + i`` — a different seed is a different run and re-keys every

@@ -24,6 +24,7 @@ import json
 import sys
 
 from repro.engine.cache import ResultCache, cache_from_env
+from repro.engine.parallel import BACKEND_NAMES, make_backend
 from repro.oracle.server import serve_forever
 from repro.oracle.service import SettlementOracle
 from repro.oracle.store import StoreError
@@ -76,14 +77,22 @@ def _cmd_build(args) -> int:
         if args.cache_dir
         else cache_from_env()
     )
-    report = build_tables(
-        spec,
-        out_dir=args.out,
-        workers=args.workers,
-        cache=cache,
-        force=args.force,
-        log=print,
-    )
+    backend = None
+    if args.backend is not None:
+        backend = make_backend(args.backend, args.workers, args.hosts)
+    try:
+        report = build_tables(
+            spec,
+            out_dir=args.out,
+            workers=args.workers,
+            cache=cache,
+            force=args.force,
+            log=print,
+            backend=backend,
+        )
+    finally:
+        if backend is not None:
+            backend.close()
     action = "built" if report.rebuilt else "reused (no-op rebuild)"
     print(
         f"{action} {report.tables.forward.size} forward cells + "
@@ -191,6 +200,25 @@ def main(argv: list[str] | None = None) -> int:
     build.add_argument("--mc-depths", type=_ints, default=None)
     build.add_argument("--mc-seed", type=int, default=None)
     build.add_argument("--workers", type=int, default=1)
+    build.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help=(
+            "execution backend for the DP fan-out and MC cross-check "
+            "(default: serial, or process when --workers > 1); table "
+            "cells are bit-identical on all of them"
+        ),
+    )
+    build.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT]",
+        help=(
+            "worker addresses for --backend distributed (each runs "
+            "python -m repro.worker)"
+        ),
+    )
     build.add_argument(
         "--cache-dir",
         default=None,

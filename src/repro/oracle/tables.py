@@ -333,6 +333,7 @@ def build_tables(
     cache: ResultCache | None = None,
     force: bool = False,
     log=None,
+    backend=None,
 ) -> BuildReport:
     """Build (or load) the settlement tables for ``spec``.
 
@@ -349,6 +350,15 @@ def build_tables(
     serves every point with zero re-estimation) and must agree with the
     DP within 6 standard errors.  The result is saved to ``out_dir``
     when given.
+
+    ``backend`` overrides the worker-count heuristic with an explicit
+    :class:`~repro.engine.parallel.Backend` — a shared process pool, an
+    :class:`~repro.engine.array_backend.ArrayBackend`, or a
+    :class:`~repro.engine.distributed.DistributedBackend` — which then
+    carries both the DP task fan-out and the Monte-Carlo cross-check.
+    The caller keeps ownership: ``build_tables`` never closes it.  By
+    the chunk seed-tree contract the backend choice cannot change a
+    single table cell or cross-check estimate.
 
     ``log`` is an optional ``print``-like callable for build progress
     (the CLI passes ``print``; the default is silent).
@@ -387,9 +397,11 @@ def build_tables(
     minimal = np.empty(shape[:3] + (len(spec.targets),), dtype=np.int64)
 
     owned = None
-    backend = SerialBackend()
-    if workers > 1:
-        owned = backend = ProcessBackend(workers)
+    shared = backend is not None
+    if backend is None:
+        backend = SerialBackend()
+        if workers > 1:
+            owned = backend = ProcessBackend(workers)
     try:
         emit(
             f"building {forward.size} forward cells + {len(laws)} "
@@ -431,7 +443,7 @@ def build_tables(
             for combo_index, ((i, j, l), law) in enumerate(laws.items()):
                 rows = run_grid(
                     _mc_grid(spec, combo_index, law),
-                    backend=backend if workers > 1 else None,
+                    backend=backend if (shared or workers > 1) else None,
                     cache=cache,
                     # mc_target_se > 0: the cross-check targets a fixed
                     # sigma-resolution per cell instead of a fixed trial

@@ -30,7 +30,12 @@ Parallelism: ``--workers N`` fans the runner's chunks across ``N``
 processes.  Estimates are bit-identical for every worker count — the
 per-chunk spawned ``SeedSequence`` tree depends only on
 ``(seed, trials, chunk_size)`` — so ``--workers`` is purely a wall-clock
-knob.
+knob.  ``--backend`` picks the execution backend explicitly:
+``serial``, ``process``, ``array`` (chunks evaluated through the
+configured array namespace — see ``repro.engine.array_api``), or
+``distributed`` with ``--hosts host:port,host:port`` naming
+``python -m repro.worker`` processes on other machines.  The backend is
+also purely a wall-clock knob: all four produce bit-identical rows.
 
 Adaptive precision: ``--target-se`` / ``--rel-se`` switch every point
 to the runner's ``run_until`` path — chunk waves are dispatched until
@@ -51,6 +56,7 @@ import sys
 import time
 
 from repro.engine.cache import ResultCache, cache_from_env, format_stats
+from repro.engine.parallel import BACKEND_NAMES, make_backend
 from repro.engine.sweeps import SweepGrid, get_grid, grid_names, run_grid
 
 __all__ = ["main", "format_table", "parse_only"]
@@ -163,6 +169,27 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="process-pool size (default 1 = serial; same estimates either way)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help=(
+            "execution backend (default: serial, or process when "
+            "--workers > 1); 'array' evaluates chunks through the "
+            "configured array namespace, 'distributed' ships them to "
+            "the --hosts workers — estimates are bit-identical on all "
+            "of them"
+        ),
+    )
+    parser.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT]",
+        help=(
+            "worker addresses for --backend distributed (each runs "
+            "python -m repro.worker)"
+        ),
     )
     parser.add_argument(
         "--trials",
@@ -288,27 +315,50 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    if args.hosts and args.backend != "distributed":
+        print(
+            "error: --hosts only applies to --backend distributed",
+            file=sys.stderr,
+        )
+        return 2
+    backend = None
+    if args.backend is not None:
+        try:
+            backend = make_backend(args.backend, args.workers, args.hosts)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     start = time.perf_counter()
-    rows = run_grid(
-        grid,
-        trials=args.trials,
-        workers=args.workers,
-        cache=cache,
-        seed=args.seed,
-        only=only,
-        target_se=args.target_se,
-        rel_se=args.rel_se,
-        max_trials=args.max_trials,
-    )
+    try:
+        rows = run_grid(
+            grid,
+            trials=args.trials,
+            workers=args.workers,
+            cache=cache,
+            backend=backend,
+            seed=args.seed,
+            only=only,
+            target_se=args.target_se,
+            rel_se=args.rel_se,
+            max_trials=args.max_trials,
+        )
+    finally:
+        if backend is not None:
+            backend.close()
     elapsed = time.perf_counter() - start
 
     print(format_table(grid.axis_names, rows))
     served = sum(1 for row in rows if row["cached"])
     realized = sum(row["trials"] for row in rows)
     reused = sum(row["reused_trials"] for row in rows)
+    backend_name = args.backend or (
+        "process" if args.workers > 1 else "serial"
+    )
     summary = (
         f"{len(rows)} points in {elapsed:.2f}s "
-        f"(workers={args.workers}, {served} from cache, "
+        f"(backend={backend_name}, workers={args.workers}, "
+        f"{served} from cache, "
         f"{realized} trials realized, {reused} reused from ledger)"
     )
     print(summary)

@@ -1,0 +1,171 @@
+"""Chunk-execution worker host: ``python -m repro.worker``.
+
+One worker process serves one host slot of a
+:class:`repro.engine.distributed.DistributedBackend`.  It listens on a
+TCP port, answers the wire protocol of :mod:`repro.engine.distributed`
+(length-prefixed pickle frames; ops ``ping`` / ``chunk`` / ``task`` /
+``shutdown``), and evaluates each chunk with the *same*
+:func:`repro.engine.runner.run_chunk` the serial and process backends
+use — reconstructing the chunk's spawned ``SeedSequence`` from the
+shipped ``(entropy, spawn_key)`` pair, so per-chunk hit counts are
+bit-identical to every other backend.
+
+Usage::
+
+    python -m repro.worker --port 9500            # fixed port
+    python -m repro.worker --port 0               # OS-assigned port
+
+The worker prints ``listening on HOST:PORT`` once bound (so scripts
+using ``--port 0`` can scrape the assigned port) and exits gracefully on
+SIGTERM/SIGINT or a ``shutdown`` request: in-flight requests finish,
+then the listener closes.  Concurrency: one thread per connection;
+point ``$REPRO_WORKERS`` at the host's core budget if chunk evaluation
+itself should be bounded (see
+:func:`repro.engine.parallel.default_workers`).
+
+Security: the protocol is pickle over plain TCP with no authentication —
+bind to loopback or a trusted private network only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import socketserver
+import sys
+import threading
+import traceback
+
+import numpy as np
+
+from repro.engine.distributed import recv_message, send_message
+from repro.engine.runner import run_chunk
+
+__all__ = ["WorkerServer", "handle_request", "serve", "main"]
+
+
+def handle_request(request: dict) -> dict:
+    """Evaluate one wire request; the reply frame (never raises).
+
+    ``chunk`` rebuilds the spawned seed as
+    ``SeedSequence(entropy, spawn_key=spawn_key)`` — NumPy's documented
+    spawn contract makes that child identical to the one the client
+    spawned, which is what keeps distributed hit counts bit-identical to
+    serial ones.
+    """
+    try:
+        op = request.get("op") if isinstance(request, dict) else None
+        if op == "ping":
+            return {"ok": True, "result": "pong"}
+        if op == "chunk":
+            child = np.random.SeedSequence(
+                request["entropy"], spawn_key=tuple(request["spawn_key"])
+            )
+            hits = run_chunk(
+                request["scenario"],
+                request["estimator"],
+                request["size"],
+                child,
+            )
+            return {"ok": True, "result": hits}
+        if op == "task":
+            result = request["function"](*request["args"])
+            return {"ok": True, "result": result}
+        if op == "shutdown":
+            return {"ok": True, "result": "bye"}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+    except Exception:  # noqa: BLE001 - every failure must cross the wire.
+        return {"ok": False, "error": traceback.format_exc()}
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        while True:
+            try:
+                request = recv_message(self.request)
+            except Exception:  # truncated frame / peer reset: drop quietly.
+                return
+            if request is None:
+                return  # clean end-of-stream.
+            reply = handle_request(request)
+            try:
+                send_message(self.request, reply)
+            except OSError:
+                return
+            if isinstance(request, dict) and request.get("op") == "shutdown":
+                self.server.request_shutdown()
+                return
+
+
+class WorkerServer(socketserver.ThreadingTCPServer):
+    """The worker's listener: threaded, address-reusable, stoppable."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, host: str, port: int) -> None:
+        super().__init__((host, port), _ConnectionHandler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``--port 0``."""
+        return self.server_address[0], self.server_address[1]
+
+    def request_shutdown(self) -> None:
+        """Stop ``serve_forever`` without deadlocking the caller.
+
+        ``shutdown()`` blocks until the serve loop exits, so a handler
+        thread (or a signal handler) must trigger it from a helper
+        thread rather than calling it directly.
+        """
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def serve(host: str = "127.0.0.1", port: int = 0) -> WorkerServer:
+    """Start a worker in a background thread; the bound server.
+
+    The in-process form used by tests: call
+    ``server.request_shutdown()`` (or ``server.shutdown()`` from
+    another thread) to stop it.
+    """
+    server = WorkerServer(host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.worker",
+        description="Serve chunk work items to DistributedBackend clients.",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default loopback; bind wider only on "
+        "trusted networks — the protocol is unauthenticated pickle)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: OS-assigned, scrape it from the "
+        "'listening on' line)",
+    )
+    options = parser.parse_args(argv)
+
+    server = WorkerServer(options.host, options.port)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: server.request_shutdown())
+    host, port = server.address
+    print(f"listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    print("worker shut down", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Distributed backend: wire protocol, failover, and bit-identity.
+
+The acceptance point of the multi-host layer: the same grid estimated on
+the serial, process, and localhost two-worker distributed backends must
+produce *identical* rows (the chunk seed tree makes the backend a pure
+wall-clock knob), a worker killed mid-run must only cost requeued chunks
+(never a changed result), and the framing helpers must refuse corrupt
+streams loudly.
+"""
+
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    DistributedBackend,
+    ExperimentRunner,
+    ProcessBackend,
+    RemoteTaskError,
+    SerialBackend,
+    get_grid,
+    get_scenario,
+    run_grid,
+)
+from repro.engine.distributed import (
+    ProtocolError,
+    chunk_message,
+    parse_hosts,
+    recv_message,
+    send_message,
+)
+from repro.worker import handle_request, serve
+
+
+@pytest.fixture()
+def workers():
+    """Two in-process worker servers; shut down after the test."""
+    servers = [serve(), serve()]
+    yield servers
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def _backend(servers, **kwargs):
+    return DistributedBackend(
+        [server.address for server in servers], timeout=30.0, **kwargs
+    )
+
+
+class TestWireProtocol:
+    def test_frame_round_trip(self):
+        left, right = socket.socketpair()
+        payload = {"op": "chunk", "matrix": np.arange(12).reshape(3, 4)}
+        send_message(left, payload)
+        received = recv_message(right)
+        assert received["op"] == "chunk"
+        assert np.array_equal(received["matrix"], payload["matrix"])
+        left.close()
+        assert recv_message(right) is None  # clean EOF at a boundary
+        right.close()
+
+    def test_oversize_frame_refused_before_allocation(self):
+        left, right = socket.socketpair()
+        left.sendall((1 << 40).to_bytes(8, "big"))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            recv_message(right)
+        left.close()
+        right.close()
+
+    def test_truncated_frame_is_a_protocol_error(self):
+        left, right = socket.socketpair()
+        left.sendall((100).to_bytes(8, "big") + b"short")
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_message(right)
+        right.close()
+
+    def test_parse_hosts(self):
+        assert parse_hosts("a:1, b:2") == [("a", 1), ("b", 2)]
+        assert parse_hosts(":9000") == [("127.0.0.1", 9000)]
+        for bad in ("", "no-port", "host:", "host:abc"):
+            with pytest.raises(ValueError):
+                parse_hosts(bad)
+
+    def test_chunk_message_reconstructs_the_spawned_seed(self):
+        parent = np.random.SeedSequence(42)
+        child = parent.spawn(5)[3]
+        message = chunk_message(
+            get_scenario("iid-settlement"), len, 128, child
+        )
+        rebuilt = np.random.SeedSequence(
+            message["entropy"], spawn_key=tuple(message["spawn_key"])
+        )
+        assert (
+            rebuilt.generate_state(8).tolist()
+            == child.generate_state(8).tolist()
+        )
+
+    def test_unknown_op_is_reported_not_raised(self):
+        reply = handle_request({"op": "frobnicate"})
+        assert reply["ok"] is False
+        assert "frobnicate" in reply["error"]
+
+
+class TestBitIdentity:
+    """Serial ≡ process ≡ distributed, estimate for estimate."""
+
+    def test_runner_identical_across_all_backends(self, workers):
+        runner = ExperimentRunner(
+            get_scenario("iid-settlement", depth=20), chunk_size=1024
+        )
+        serial = runner.run(10_000, seed=42, backend=SerialBackend())
+        with ProcessBackend(2) as pool:
+            process = runner.run(10_000, seed=42, backend=pool)
+        with _backend(workers) as remote:
+            distributed = runner.run(10_000, seed=42, backend=remote)
+        assert serial == process == distributed
+
+    def test_grid_identical_across_all_backends(self, workers):
+        grid = get_grid("stake")
+        serial = run_grid(grid, trials=4096)
+        with ProcessBackend(2) as pool:
+            process = run_grid(grid, trials=4096, backend=pool)
+        with _backend(workers) as remote:
+            distributed = run_grid(grid, trials=4096, backend=remote)
+        assert serial == process == distributed
+
+    def test_generic_tasks_round_trip(self, workers):
+        with _backend(workers) as remote:
+            futures = [remote.submit_task(divmod, n, 3) for n in range(7)]
+            assert [f.result() for f in futures] == [
+                divmod(n, 3) for n in range(7)
+            ]
+
+    def test_remote_errors_surface_without_retry(self, workers):
+        with _backend(workers) as remote:
+            future = remote.submit_task(int, "not a number")
+            with pytest.raises(RemoteTaskError, match="ValueError"):
+                future.result()
+
+    def test_ping_counts_reachable_hosts(self, workers):
+        with _backend(workers) as remote:
+            assert remote.ping() == 2
+
+
+class TestFailover:
+    def _spawn_worker(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        src = os.path.abspath(src)
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.worker", "--port", "0"],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        line = process.stdout.readline()
+        match = re.match(r"listening on ([\d.]+):(\d+)", line)
+        assert match, f"worker did not announce its port: {line!r}"
+        return process, (match.group(1), int(match.group(2)))
+
+    def test_worker_killed_mid_run_requeues_onto_survivor(self):
+        scenario = get_scenario("iid-settlement", depth=20)
+        runner = ExperimentRunner(scenario, chunk_size=512)
+        serial = runner.run(10_240, seed=7, backend=SerialBackend())
+
+        victim, victim_address = self._spawn_worker()
+        survivor, survivor_address = self._spawn_worker()
+        try:
+            backend = DistributedBackend(
+                [victim_address, survivor_address], timeout=30.0
+            )
+            with backend:
+                pending = runner.submit(10_240, seed=7, backend=backend)
+                victim.kill()  # hard kill: in-flight chunks requeue
+                distributed = pending.result()
+            assert distributed == serial
+        finally:
+            for process in (victim, survivor):
+                process.kill()
+                process.wait(timeout=10)
+
+    def test_all_workers_lost_fails_loudly(self):
+        process, address = self._spawn_worker()
+        process.kill()
+        process.wait(timeout=10)
+        backend = DistributedBackend(
+            [address], timeout=5.0, reconnect_attempts=2, backoff_base=0.01
+        )
+        runner = ExperimentRunner(
+            get_scenario("iid-settlement", depth=10), chunk_size=512
+        )
+        with pytest.raises(ConnectionError):
+            runner.run(1_024, seed=1, backend=backend)
+        backend.close()
+
+    def test_graceful_shutdown_on_sigterm(self):
+        process, _address = self._spawn_worker()
+        process.terminate()
+        assert process.wait(timeout=10) == 0
+        assert "worker shut down" in process.stdout.read()

@@ -49,6 +49,24 @@ class TestEncoding:
         with pytest.raises(ValueError):
             kernels.encode_word("hHx")
 
+    def test_unknown_symbols_name_the_offenders(self):
+        # Unknown ASCII must raise, not flow through the 255 sentinel.
+        with pytest.raises(ValueError, match=r"'x'"):
+            kernels.encode_word("hHx")
+        with pytest.raises(ValueError, match=r"'z'"):
+            kernels.encode_words(["hH", "Az"])
+
+    def test_non_ascii_raises_value_error(self):
+        # Non-ASCII input must surface as the same ValueError contract,
+        # never as a raw UnicodeEncodeError from the codec.
+        with pytest.raises(ValueError, match="é"):
+            kernels.encode_word("héllo")
+        with pytest.raises(ValueError):
+            kernels.encode_words(["h", "h☃"])
+
+    def test_empty_word_encodes_to_empty(self):
+        assert kernels.encode_word("").shape == (0,)
+
     def test_padding_is_empty(self):
         matrix, lengths = kernels.encode_words(["hA", "h"])
         assert matrix[1, 1] == kernels.CODE_EMPTY

@@ -152,6 +152,69 @@ class TestGuards:
     def test_default_workers_positive(self):
         assert default_workers() >= 1
 
+    def test_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert default_workers() == 7
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "many", "2.5", ""])
+    def test_workers_env_rejects_garbage(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_workers()
+
+
+class TestBackendProtocolCompliance:
+    """Every backend serves the same submit_task/submit_chunks surface."""
+
+    @pytest.fixture(params=["serial", "process", "array", "distributed"])
+    def backend(self, request):
+        from repro.engine import ArrayBackend, Backend, DistributedBackend
+
+        if request.param == "serial":
+            from repro.engine import SerialBackend
+
+            built, server = SerialBackend(), None
+        elif request.param == "process":
+            built, server = ProcessBackend(2), None
+        elif request.param == "array":
+            built, server = ArrayBackend(), None
+        else:
+            from repro.worker import serve
+
+            server = serve()
+            built = DistributedBackend([server.address], timeout=30.0)
+        assert isinstance(built, Backend)
+        yield built
+        built.close()
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+
+    def test_submit_task_positional_and_ordered(self, backend):
+        futures = [backend.submit_task(divmod, n, 3) for n in range(5)]
+        assert [f.result() for f in futures] == [divmod(n, 3) for n in range(5)]
+
+    def test_submit_chunks_matches_run_chunk(self, backend):
+        scenario = get_scenario("iid-settlement", depth=10)
+        estimator = ExperimentRunner(scenario).estimator
+        children = np.random.SeedSequence(5).spawn(3)
+        futures = backend.submit_chunks(
+            scenario, estimator, [256, 256, 128], children
+        )
+        expected = [
+            run_chunk(scenario, estimator, size, child)
+            for size, child in zip([256, 256, 128], children)
+        ]
+        assert [f.result() for f in futures] == expected
+
+    def test_submit_chunks_validates_pairing(self, backend):
+        scenario = get_scenario("iid-settlement", depth=10)
+        estimator = ExperimentRunner(scenario).estimator
+        with pytest.raises(ValueError, match="child per chunk"):
+            backend.submit_chunks(
+                scenario, estimator, [256], np.random.SeedSequence(5).spawn(2)
+            )
+
     def test_window_estimators_validate_bounds(self):
         from repro.engine import (
             NoConsecutiveCatalanInWindow,

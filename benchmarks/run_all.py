@@ -1,6 +1,6 @@
 """Run the benchmark suite and record the engine performance baseline.
 
-Seven jobs:
+Eight jobs:
 
 1. measure scalar-vs-batched throughput of the Monte-Carlo estimators
    (the batched-engine acceptance point: >= 10x on
@@ -32,7 +32,12 @@ Seven jobs:
    per-backend chunk throughput, the distributed-over-process overhead
    ratio (floor: >= 0.5x on localhost), and the hot-kernel
    temporaries-audit micro-bench — the "backend" record;
-7. optionally execute the pytest benchmark suite (skipped with
+7. measure the continuous-time network layer — raw EventScheduler
+   events/s, WAN-transport trials/s against the slot-quantized
+   simulator's trials/s (floor: >= 0.5x — physics costs something, but
+   not more than half the throughput), and the degenerate-configuration
+   bit-identity assert — the "wan" record;
+8. optionally execute the pytest benchmark suite (skipped with
    --perf-only; shrunk with --quick for CI).  The suite inherits the
    cache via $REPRO_SWEEP_CACHE, so its sweep-driven benches also skip
    already-computed points.
@@ -448,6 +453,103 @@ def oracle_record(quick: bool, workers: int) -> dict:
     return record
 
 
+def wan_record(quick: bool) -> dict:
+    """The continuous-time network record (the PR 7 point).
+
+    Three measurements:
+
+    * raw :class:`~repro.protocol.events.EventScheduler` throughput —
+      schedule + drain of a large synthetic workload, in events/s;
+    * WAN-vs-slot simulator throughput: the E10 workload once over the
+      slot-quantized NetworkModel and once over the Transport with the
+      full WAN feature set enabled (ring relays, bandwidth, uniform
+      jitter).  ``wan_over_slot_ratio`` is asserted >= 0.5 by main():
+      continuous-time physics may cost something, but never half the
+      simulator;
+    * the degenerate-configuration assert: the *same* E10 workload with
+      ``network="wan"`` and default transport fields must produce a
+      bit-identical estimate to the slot model — the degenerate-case
+      guarantee, re-checked where the numbers are recorded.
+
+    A delay-distribution sample from one WAN run rides along so the
+    record documents what the new observable looks like.
+    """
+    from repro.protocol.events import EventScheduler
+
+    scenario = get_scenario("protocol-honest")
+    trials = max(TRIALS["protocol_e10_trials"] // (4 if quick else 1), 4)
+    seed = SEEDS["protocol_e10"]
+
+    # 1. Scheduler micro-bench: interleaved schedule/drain in slot-sized
+    # windows (the transport's actual access pattern).
+    events = 20_000 if quick else 100_000
+    scheduler = EventScheduler()
+
+    def scheduler_workload():
+        drained = 0
+        for i in range(events):
+            scheduler.schedule(float(i % 97) + (i % 7) / 8, i)
+            if i % 64 == 63:
+                drained += len(scheduler.pop_until(float(i % 97)))
+        drained += len(scheduler.pop_until(200.0))
+        return drained
+
+    scheduler_s, drained = _time(scheduler_workload)
+    assert drained == events, "scheduler lost events under the bench load"
+
+    # 2. Slot-vs-WAN simulator throughput on the E10 workload.
+    wan_scenario = get_scenario(
+        "protocol-honest",
+        network="wan",
+        latency=0.4,
+        bandwidth=4096.0,
+        jitter="uniform",
+        jitter_scale=0.5,
+        topology="ring",
+    )
+    slot_runner = ProtocolRunner(scenario)
+    wan_runner = ProtocolRunner(wan_scenario)
+    slot_runner.run(2, seed)  # warm-up
+    wan_runner.run(2, seed)
+    slot_s, slot_estimate = _time(slot_runner.run, trials, seed)
+    wan_s, wan_estimate = _time(wan_runner.run, trials, seed)
+
+    # 3. Degenerate configuration: wan + all-default transport fields
+    # must reproduce the slot estimate bit-exactly.
+    degenerate = ProtocolRunner(
+        get_scenario("protocol-honest", network="wan")
+    ).run(trials, seed)
+    degenerate_ok = degenerate == slot_estimate
+
+    sample = wan_scenario.build_simulation(f"protocol-{seed}").run()
+    distribution = sample.delay_distribution()
+
+    return {
+        "scheduler_events": events,
+        "scheduler_seconds": round(scheduler_s, 4),
+        "scheduler_events_per_second": round(events / scheduler_s),
+        "workload": wan_scenario.name,
+        "trials": trials,
+        "slot_seconds": round(slot_s, 4),
+        "slot_trials_per_second": round(trials / slot_s, 2),
+        "wan_seconds": round(wan_s, 4),
+        "wan_trials_per_second": round(trials / wan_s, 2),
+        "wan_over_slot_ratio": round(slot_s / wan_s, 3),
+        "degenerate_bit_identical": degenerate_ok,
+        "wan_value": wan_estimate.value,
+        "delay_distribution": {
+            "count": distribution.count,
+            "mean": round(distribution.mean, 4),
+            "p50": round(distribution.p50, 4),
+            "p90": round(distribution.p90, 4),
+            "p99": round(distribution.p99, 4),
+            "max": round(distribution.maximum, 4),
+            "delta": distribution.delta,
+            "exceedance_rate": round(distribution.exceedance_rate, 4),
+        },
+    }
+
+
 def _spawn_worker(env: dict) -> tuple[subprocess.Popen, str]:
     """Start one ``python -m repro.worker`` subprocess; (proc, host:port)."""
     import re
@@ -653,6 +755,7 @@ def main() -> int:
     record["adaptive"] = adaptive_record(args.quick, args.workers)
     record["oracle"] = oracle_record(args.quick, args.workers)
     record["backend"] = backend_record(args.quick)
+    record["wan"] = wan_record(args.quick)
     out = REPO_ROOT / "BENCH_engine.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
     for entry in record["results"]:
@@ -721,6 +824,17 @@ def main() -> int:
         f"backend '{backend['workload']}': {throughput} "
         f"(identical estimates, distributed/process "
         f"{backend['distributed_overhead_ratio']}x)"
+    )
+    wan = record["wan"]
+    print(
+        f"wan '{wan['workload']}': scheduler "
+        f"{wan['scheduler_events_per_second']} events/s; slot "
+        f"{wan['slot_trials_per_second']} vs wan "
+        f"{wan['wan_trials_per_second']} trials/s "
+        f"({wan['wan_over_slot_ratio']}x); degenerate config "
+        f"{'bit-identical' if wan['degenerate_bit_identical'] else 'DIVERGED'}"
+        f"; delay p99 {wan['delay_distribution']['p99']} slots, "
+        f"Delta-exceedance {wan['delay_distribution']['exceedance_rate']}"
     )
     print(f"perf record written to {out}")
 
@@ -791,6 +905,30 @@ def main() -> int:
         print(
             "FAIL: distributed backend below the 0.5x-of-process "
             f"localhost floor ({backend['distributed_overhead_ratio']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if not wan["degenerate_bit_identical"]:
+        print(
+            "FAIL: default-config Transport diverged from the "
+            "slot-quantized model",
+            file=sys.stderr,
+        )
+        return 1
+    if wan["wan_over_slot_ratio"] < 0.5:
+        print(
+            "FAIL: WAN transport below the 0.5x-of-slot-simulator "
+            f"throughput floor ({wan['wan_over_slot_ratio']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        wan["scheduler_events_per_second"]
+        < wan["slot_trials_per_second"] * 0.5
+    ):
+        print(
+            "FAIL: event scheduler slower than half the slot simulator's "
+            f"trial rate ({wan['scheduler_events_per_second']} events/s)",
             file=sys.stderr,
         )
         return 1

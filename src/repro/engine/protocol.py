@@ -55,8 +55,10 @@ from repro.protocol.tiebreak import (
     adversarial_order_rule,
     consistent_hash_rule,
 )
+from repro.protocol.transport import TransportConfig
 
 __all__ = [
+    "NETWORKS",
     "PROTOCOL_CHUNK_SIZE",
     "ProtocolBatch",
     "ProtocolRunner",
@@ -75,6 +77,10 @@ TIE_BREAK_RULES: dict[str, TieBreakRule] = {
 
 #: Adversary strategies addressable from a frozen scenario.
 ADVERSARIES = ("null", "private-chain", "split", "max-delay")
+
+#: Network models addressable from a frozen scenario: the slot-quantized
+#: Δ model of the paper, or the continuous-time WAN transport.
+NETWORKS = ("slot", "wan")
 
 #: Default chunk size for protocol runs: one trial is a whole simulated
 #: execution (milliseconds, not microseconds), so chunks are small
@@ -125,6 +131,19 @@ class ProtocolScenario:
     patience: int = 60
     lead: int = 1
     hold: int | None = None
+    # -- network axes (PR 7).  ``network="slot"`` is the paper's
+    # slot-quantized Δ model; ``"wan"`` swaps in the continuous-time
+    # Transport, parameterised by the remaining fields (slot units /
+    # bytes-per-slot; see repro.protocol.transport.TransportConfig).
+    network: str = "slot"
+    latency: float = 0.0
+    bandwidth: float = 0.0
+    jitter: str = "fixed"
+    jitter_scale: float = 0.0
+    jitter_cap: float = 0.0
+    topology: str = "complete"
+    edge_probability: float = 0.5
+    topology_seed: int = 0
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -154,6 +173,33 @@ class ProtocolScenario:
             raise ValueError("target_slot must lie in [1, total_slots]")
         if self.depth < 1:
             raise ValueError("depth must be a positive settlement depth")
+        if self.network not in NETWORKS:
+            known = ", ".join(NETWORKS)
+            raise ValueError(
+                f"unknown network {self.network!r}; known: {known}"
+            )
+        # Delegate range/name validation of the transport fields (and
+        # reject malformed values even on slot scenarios, where they
+        # would otherwise lie dormant in cache fingerprints).
+        config = self._transport_config()
+        if self.network == "slot" and config != TransportConfig():
+            raise ValueError(
+                "transport fields (latency/bandwidth/jitter*/topology*/"
+                'edge_probability) require network="wan"; '
+                'network="slot" is the quantized model and ignores them'
+            )
+
+    def _transport_config(self) -> TransportConfig:
+        return TransportConfig(
+            latency=self.latency,
+            bandwidth=self.bandwidth,
+            jitter=self.jitter,
+            jitter_scale=self.jitter_scale,
+            jitter_cap=self.jitter_cap,
+            topology=self.topology,
+            edge_probability=self.edge_probability,
+            topology_seed=self.topology_seed,
+        )
 
     # -- derived configuration -----------------------------------------
 
@@ -182,6 +228,12 @@ class ProtocolScenario:
             return MaxDelayAdversary(max_delay=self.delta)
         return NullAdversary()
 
+    def build_transport(self) -> TransportConfig | None:
+        """The WAN description, or ``None`` for the slot-quantized model."""
+        if self.network == "slot":
+            return None
+        return self._transport_config()
+
     def build_simulation(
         self, randomness: str, shared_validation: bool = True
     ) -> Simulation:
@@ -195,6 +247,7 @@ class ProtocolScenario:
             adversary=self.build_adversary(),
             randomness=randomness,
             shared_validation=shared_validation,
+            transport=self.build_transport(),
         )
 
     # -- engine integration --------------------------------------------
@@ -421,6 +474,34 @@ register(
             "E7 ablation workload: stakeless split scheduling of "
             "concurrent honest blocks; reorgs >= 3 deep under A0, "
             "collapse to 1 under A0' (Theorem 2)"
+        ),
+    )
+)
+
+register(
+    ProtocolScenario(
+        name="protocol-wan",
+        parties=8,
+        adversary_fraction=0.0,
+        activity=0.5,
+        total_slots=60,
+        delta=2,
+        adversary="max-delay",
+        target_slot=10,
+        depth=8,
+        network="wan",
+        topology="random",
+        latency=0.4,
+        bandwidth=4096.0,
+        jitter="exponential",
+        jitter_scale=0.5,
+        jitter_cap=3.0,
+        description=(
+            "Realistic-WAN settlement workload: random gossip graph with "
+            "relay hops, 0.4-slot link latency, bandwidth-limited "
+            "transfer, capped-exponential jitter, and a max-delay "
+            "adversary spending its full Delta=2 hold on top — the "
+            "measured-delay regime the slot model cannot express"
         ),
     )
 )

@@ -473,6 +473,30 @@ register_grid(
 
 register_grid(
     SweepGrid(
+        name="protocol_wan",
+        base="protocol-wan",
+        axes=(
+            ("topology", ("complete", "star", "ring", "random")),
+            ("latency", (0.25, 0.75)),
+            ("jitter_scale", (0.0, 0.5)),
+        ),
+        trials=16,
+        seed=51515,
+        estimator="protocol-settlement-violation",
+        chunk_size=PROTOCOL_CHUNK_SIZE,
+        description=(
+            "settlement risk on a realistic WAN: gossip topology x "
+            "per-link latency x exponential-jitter scale over the "
+            "continuous-time Transport (bandwidth-limited links, "
+            "max-delay adversary composing its Delta=2 hold on top of "
+            "the physical transit).  The slot model cannot express any "
+            "point of this grid except the degenerate corner"
+        ),
+    )
+)
+
+register_grid(
+    SweepGrid(
         name="bounds-vs-exact",
         base="iid-settlement",
         axes=(("depth", (20, 30, 40)),),

@@ -12,6 +12,11 @@ implements that protocol end to end:
 * :mod:`repro.protocol.tiebreak` — the A0 and A0′ chain-selection rules;
 * :mod:`repro.protocol.network` — synchronous and Δ-bounded networks with
   a rushing adversary;
+* :mod:`repro.protocol.events` — the deterministic discrete-event core
+  (monotone clock, stable ``(time, sequence)`` ordering);
+* :mod:`repro.protocol.transport` — continuous-time WAN delivery
+  (per-link latency + bandwidth, gossip topologies, seeded jitter) with
+  the slot model as its degenerate case;
 * :mod:`repro.protocol.node` — honest longest-chain nodes;
 * :mod:`repro.protocol.adversary` — protocol-level attack strategies;
 * :mod:`repro.protocol.simulation` — the slot-driven engine and the
@@ -25,19 +30,32 @@ from repro.protocol.leader import (
     StakeDistribution,
     VrfLeaderElection,
 )
+from repro.protocol.events import Event, EventScheduler
+from repro.protocol.network import NetworkModel
 from repro.protocol.node import HonestNode
-from repro.protocol.simulation import Simulation, SimulationResult
+from repro.protocol.simulation import (
+    DelayDistribution,
+    Simulation,
+    SimulationResult,
+)
+from repro.protocol.transport import Transport, TransportConfig
 
 __all__ = [
     "Block",
     "BlockTree",
+    "DelayDistribution",
+    "Event",
+    "EventScheduler",
     "HonestNode",
     "IdealSignatureScheme",
     "IdealVrf",
     "LeaderSchedule",
+    "NetworkModel",
     "Simulation",
     "SimulationResult",
     "StakeDistribution",
+    "Transport",
+    "TransportConfig",
     "VrfLeaderElection",
     "genesis_block",
     "hash_data",

@@ -73,6 +73,13 @@ class NetworkModel:
         }
         self._sequence = 0
         self._pending = 0
+        #: Realized end-to-end delay (in slot units) of every honest
+        #: broadcast delivery to a party other than the sender — the
+        #: sample behind ``SimulationResult.delay_distribution()``.  In
+        #: the slot-quantized model this is just the adversary's hold;
+        #: the continuous-time :class:`~repro.protocol.transport.
+        #: Transport` adds the physical transit on top.
+        self.realized_delays: list[float] = []
 
     def broadcast(
         self,
@@ -80,6 +87,7 @@ class NetworkModel:
         sent_slot: int,
         delays: dict[str, int] | None = None,
         priorities: dict[str, int] | None = None,
+        sender: str | None = None,
     ) -> None:
         """Honest broadcast: deliver to everyone within the Δ deadline.
 
@@ -87,6 +95,12 @@ class NetworkModel:
         choice (default: maximal allowed delay 0 in the synchronous
         model, Δ otherwise must be chosen explicitly — the default here
         is immediate delivery, the honest-friendly schedule).
+
+        ``sender`` names the broadcasting party; the slot model ignores
+        it for scheduling (the graph is complete and links are free) but
+        uses it to exclude the sender's own loopback delivery from the
+        realized-delay sample.  Transport subclasses additionally route
+        by it.
         """
         delays = delays or {}
         priorities = priorities or {}
@@ -99,6 +113,8 @@ class NetworkModel:
                 )
             self._push(recipient, block, sent_slot + delay,
                        priorities.get(recipient, 0))
+            if recipient != sender:
+                self.realized_delays.append(float(delay))
 
     def inject(
         self,
@@ -152,3 +168,13 @@ class NetworkModel:
     def pending_count(self) -> int:
         """Undelivered messages (used by tests to check A0 compliance)."""
         return self._pending
+
+    def final_drain_slot(self, total_slots: int) -> int:
+        """The slot whose drain empties every deadline-bound message.
+
+        The slot model's deadline is ``total_slots + Δ`` (axiom A4Δ).
+        Transport subclasses override this with their scheduling
+        horizon: physical transit may legitimately outlast the Δ budget,
+        and the end-of-run views must still include those messages.
+        """
+        return total_slots + self.delta

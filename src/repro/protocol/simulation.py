@@ -45,6 +45,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.alphabet import EMPTY
 from repro.core.forks import Fork
 from repro.delta.forks import DeltaFork
@@ -60,6 +62,7 @@ from repro.protocol.leader import (
 from repro.protocol.network import NetworkModel
 from repro.protocol.node import HonestNode
 from repro.protocol.tiebreak import TieBreakRule, adversarial_order_rule
+from repro.protocol.transport import Transport, TransportConfig, transport_seed
 
 
 @dataclass
@@ -85,6 +88,7 @@ class Simulation:
         adversary: Adversary | None = None,
         randomness: str = "epoch-0",
         shared_validation: bool = False,
+        transport: TransportConfig | None = None,
     ) -> None:
         self.stakes = stakes
         self.activity = activity
@@ -135,7 +139,21 @@ class Simulation:
             )
             for party in honest_parties
         }
-        self.network = NetworkModel(list(self.nodes), delta=delta)
+        # ``transport=None`` keeps the paper's slot-quantized model;
+        # a config swaps in the continuous-time WAN, whose jitter seed
+        # derives from the same randomness string as the VRF — the
+        # schedule stays a pure function of the trial's randomness.
+        if transport is None:
+            self.network: NetworkModel = NetworkModel(
+                list(self.nodes), delta=delta
+            )
+        else:
+            self.network = Transport(
+                list(self.nodes),
+                delta=delta,
+                config=transport,
+                seed=transport_seed(randomness),
+            )
         self.adversary.attach(
             self.signatures,
             {
@@ -245,7 +263,13 @@ class Simulation:
                 self._observe(block)
             for block in honest_blocks:
                 delays, priorities = self.adversary.honest_delays(slot, block)
-                self.network.broadcast(block, slot, delays, priorities)
+                self.network.broadcast(
+                    block,
+                    slot,
+                    delays,
+                    priorities,
+                    sender=self._public_to_party.get(block.issuer),
+                )
 
             corrupted_leaders = [
                 (party, self.election.eligibility(party, slot)[2])
@@ -260,12 +284,39 @@ class Simulation:
             }
             records.append(record)
 
-        # Final drain so end-of-run views include the last slot's messages.
+        # Final drain so end-of-run views include the last slot's
+        # messages.  The network names the slot: ``total + Δ`` for the
+        # slot model, its scheduling horizon for the transport (physical
+        # transit may legitimately outlast the Δ budget).
+        final_slot = self.network.final_drain_slot(self.total_slots)
         for name, node in self.nodes.items():
-            for block in self.network.due(name, self.total_slots + self.delta):
+            for block in self.network.due(name, final_slot):
                 node.receive(block)
 
         return SimulationResult(self, schedule, records)
+
+
+@dataclass(frozen=True)
+class DelayDistribution:
+    """Summary of the realized per-message honest delivery delays.
+
+    The sample is every honest broadcast delivery to a party other than
+    the sender: the adversarial hold in the slot model, hold + physical
+    transit under a :class:`~repro.protocol.transport.Transport`.  The
+    ``exceedance_rate`` is the fraction of deliveries whose realized
+    delay exceeds the configured Δ — zero by construction in the slot
+    model (the A4Δ deadline is enforced), and the measured "effective-Δ
+    overshoot" on a WAN where physics is not budget-bound.
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+    delta: int
+    exceedance_rate: float
 
 
 class SimulationResult:
@@ -602,6 +653,32 @@ class SimulationResult:
                     deepest = max(deepest, discarded)
                 previous = tip
         return deepest
+
+    # ------------------------------------------------------------------
+    # network observables
+    # ------------------------------------------------------------------
+
+    def delay_distribution(self) -> DelayDistribution:
+        """Quantiles + effective-Δ exceedance of realized honest delays.
+
+        An empty sample (no honest broadcast reached another party)
+        collapses to all-zero statistics."""
+        sample = self.simulation.network.realized_delays
+        delta = self.simulation.delta
+        if not sample:
+            return DelayDistribution(0, 0.0, 0.0, 0.0, 0.0, 0.0, delta, 0.0)
+        delays = np.asarray(sample, dtype=np.float64)
+        p50, p90, p99 = np.quantile(delays, (0.5, 0.9, 0.99))
+        return DelayDistribution(
+            count=int(delays.size),
+            mean=float(delays.mean()),
+            p50=float(p50),
+            p90=float(p90),
+            p99=float(p99),
+            maximum=float(delays.max()),
+            delta=delta,
+            exceedance_rate=float((delays > delta).mean()),
+        )
 
     # ------------------------------------------------------------------
     # execution → abstract fork

@@ -7,6 +7,19 @@ import random
 
 import pytest
 
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
+else:
+    # Fixed, derandomized, CI-budgeted profile: property tests explore
+    # the same example set on every run and every machine, so a failure
+    # is a regression, never a flake.
+    settings.register_profile(
+        "repro-ci", derandomize=True, max_examples=50, deadline=None
+    )
+    settings.load_profile("repro-ci")
+
 
 @pytest.fixture()
 def rng() -> random.Random:

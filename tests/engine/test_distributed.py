@@ -19,9 +19,11 @@ import numpy as np
 import pytest
 
 from repro.engine import (
+    ArrayBackend,
     DistributedBackend,
     ExperimentRunner,
     ProcessBackend,
+    ProtocolRunner,
     RemoteTaskError,
     SerialBackend,
     get_grid,
@@ -36,6 +38,28 @@ from repro.engine.distributed import (
     send_message,
 )
 from repro.worker import handle_request, serve
+
+
+def _spawn_worker():
+    """A real worker subprocess announcing its ephemeral port."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    src = os.path.abspath(src)
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.worker", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    match = re.match(r"listening on ([\d.]+):(\d+)", line)
+    assert match, f"worker did not announce its port: {line!r}"
+    return process, (match.group(1), int(match.group(2)))
 
 
 @pytest.fixture()
@@ -152,24 +176,7 @@ class TestBitIdentity:
 
 class TestFailover:
     def _spawn_worker(self):
-        env = dict(os.environ)
-        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
-        src = os.path.abspath(src)
-        env["PYTHONPATH"] = (
-            src + os.pathsep + env["PYTHONPATH"]
-            if env.get("PYTHONPATH")
-            else src
-        )
-        process = subprocess.Popen(
-            [sys.executable, "-m", "repro.worker", "--port", "0"],
-            stdout=subprocess.PIPE,
-            text=True,
-            env=env,
-        )
-        line = process.stdout.readline()
-        match = re.match(r"listening on ([\d.]+):(\d+)", line)
-        assert match, f"worker did not announce its port: {line!r}"
-        return process, (match.group(1), int(match.group(2)))
+        return _spawn_worker()
 
     def test_worker_killed_mid_run_requeues_onto_survivor(self):
         scenario = get_scenario("iid-settlement", depth=20)
@@ -211,3 +218,57 @@ class TestFailover:
         process.terminate()
         assert process.wait(timeout=10) == 0
         assert "worker shut down" in process.stdout.read()
+
+
+class TestProtocolWanConformance:
+    """ISSUE 7 satellite 3: the continuous-time protocol workload obeys
+    the same backend contract as analytical chunks — serial ≡ process ≡
+    array ≡ distributed on a ``protocol_wan`` grid point, and a worker
+    hard-killed mid-run never changes a protocol estimate."""
+
+    #: One non-degenerate point of the registered grid (relay topology
+    #: plus live jitter), filtered with the full grid's seeds so the
+    #: rows agree with a full run.
+    POINT = {
+        "topology": ("ring",),
+        "latency": (0.25,),
+        "jitter_scale": (0.5,),
+    }
+
+    def test_wan_point_identical_across_all_backends(self, workers):
+        grid = get_grid("protocol_wan")
+        serial = run_grid(grid, trials=8, only=self.POINT)
+        with ProcessBackend(2) as pool:
+            process = run_grid(grid, trials=8, only=self.POINT, backend=pool)
+        array = run_grid(
+            grid, trials=8, only=self.POINT, backend=ArrayBackend()
+        )
+        with _backend(workers) as remote:
+            distributed = run_grid(
+                grid, trials=8, only=self.POINT, backend=remote
+            )
+        assert serial == process == array == distributed
+        assert serial[0]["trials"] == 8
+
+    def test_worker_killed_mid_protocol_run_requeues_onto_survivor(self):
+        scenario = get_scenario(
+            "protocol-wan", total_slots=30, target_slot=5, depth=4
+        )
+        runner = ProtocolRunner(scenario, chunk_size=4)
+        serial = runner.run(16, seed=77, backend=SerialBackend())
+
+        victim, victim_address = _spawn_worker()
+        survivor, survivor_address = _spawn_worker()
+        try:
+            backend = DistributedBackend(
+                [victim_address, survivor_address], timeout=60.0
+            )
+            with backend:
+                pending = runner.submit(16, seed=77, backend=backend)
+                victim.kill()  # in-flight simulation chunks must requeue
+                distributed = pending.result()
+            assert distributed == serial
+        finally:
+            for process in (victim, survivor):
+                process.kill()
+                process.wait(timeout=10)

@@ -48,14 +48,18 @@ from repro.engine.scenarios import (
     scenario_names,
 )
 from repro.engine.runner import (
+    ChunkAccumulator,
     Estimate,
     ExperimentRunner,
     NoConsecutiveCatalanInWindow,
     NoUniqueCatalanInWindow,
     RunReport,
+    accumulate_weights,
+    as_accumulator,
     chunk_sizes,
     delta_settlement_violation,
     estimate_from_hits,
+    estimate_from_moments,
     no_consecutive_catalan_in_window,
     no_unique_catalan_in_window,
     run_chunk,
@@ -101,6 +105,7 @@ __all__ = [
     "ArrayBackend",
     "Backend",
     "Batch",
+    "ChunkAccumulator",
     "DistributedBackend",
     "Estimate",
     "ExperimentRunner",
@@ -118,14 +123,17 @@ __all__ = [
     "SweepGrid",
     "SweepPoint",
     "WORKERS_ENV",
+    "accumulate_weights",
     "adversarial_stake_sweep",
     "array_namespace",
+    "as_accumulator",
     "cache_from_env",
     "chunk_sizes",
     "default_namespace",
     "default_workers",
     "delta_settlement_violation",
     "estimate_from_hits",
+    "estimate_from_moments",
     "get_grid",
     "get_scenario",
     "grid_names",

@@ -15,10 +15,12 @@ Each chunk is sampled on the **host**: the chunk's spawned
 every other backend, so the uniform bit stream is identical everywhere.
 The sampled :class:`~repro.engine.scenarios.Batch` is then converted
 into the namespace, the estimator runs entirely inside it (the kernels
-dispatch off their inputs), and only the boolean hit vector crosses back
-to the host to be counted.  Per-chunk traffic is therefore one
-device upload of the symbol matrix and one download of ``trials``
-booleans.
+dispatch off their inputs), and only the per-trial weight vector (a
+boolean hit vector for plain Monte-Carlo estimators, float likelihood
+ratios for importance-sampling ones) crosses back to the host to be
+reduced into the chunk's accumulator.  Per-chunk traffic is therefore
+one device upload of the symbol matrix and one download of ``trials``
+weights.
 
 Parity contract
 ---------------
@@ -32,10 +34,12 @@ Parity contract
   recurrences are exact and the float threshold comparisons bit-identical,
   so any mismatch is a real bug, not noise.
 * an integer ``n ≥ 0`` — ulp-tolerance fallback for namespaces *without*
-  IEEE guarantees: per-chunk hit **counts** may differ by at most ``n``
+  IEEE guarantees: per-chunk weight **sums** may differ by at most ``n``
   (a threshold comparison can flip only for uniforms within an ulp of a
-  boundary, so the honest bound is tiny).  The backend's result is still
-  the namespace's own count — the tolerance only bounds the drift.
+  boundary, so the honest bound is tiny; for boolean estimators the
+  weight-sum drift is exactly the hit-count drift).  The backend's
+  result is still the namespace's own accumulator — the tolerance only
+  bounds the drift.
 * ``None`` — trust the namespace, skip the shadow evaluation (what a
   production GPU run uses once the namespace has been validated; also
   the automatic mode when the namespace *is* NumPy, where the shadow
@@ -51,7 +55,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.array_api import to_namespace, to_numpy, use_namespace
-from repro.engine.runner import Estimator
+from repro.engine.runner import (
+    ChunkAccumulator,
+    Estimator,
+    accumulate_weights,
+)
 from repro.engine.scenarios import Batch, Scenario
 
 __all__ = ["ArrayBackend", "run_chunk_array"]
@@ -88,11 +96,11 @@ def run_chunk_array(
     seed_sequence: np.random.SeedSequence,
     namespace,
     parity: str | int | None = "bitwise",
-) -> int:
+) -> ChunkAccumulator:
     """Sample one chunk on the host, evaluate it in ``namespace``.
 
     The namespace sibling of :func:`repro.engine.runner.run_chunk`:
-    same seed discipline, same hit-count return, with the estimator's
+    same seed discipline, same accumulator return, with the estimator's
     array work routed through ``namespace`` and the parity contract of
     the module docstring enforced against the NumPy path.
     """
@@ -101,27 +109,26 @@ def run_chunk_array(
     if not isinstance(batch, Batch):
         # Non-array workloads (protocol simulations): nothing for the
         # namespace to accelerate, evaluate exactly as run_chunk would.
-        hits = np.asarray(estimator(scenario, batch))
-        _check_shape(hits, size)
-        return int(hits.sum())
+        weights = np.asarray(estimator(scenario, batch))
+        return accumulate_weights(weights, size)
 
     if namespace is np:
-        hits = np.asarray(estimator(scenario, batch))
-        _check_shape(hits, size)
-        return int(hits.sum())
+        weights = np.asarray(estimator(scenario, batch))
+        return accumulate_weights(weights, size)
 
     with use_namespace(namespace):
-        device_hits = estimator(scenario, _namespace_batch(namespace, batch))
-    hits = to_numpy(device_hits)
-    _check_shape(hits, size)
-    count = int(hits.sum())
+        device_weights = estimator(
+            scenario, _namespace_batch(namespace, batch)
+        )
+    weights = to_numpy(device_weights)
+    accumulator = accumulate_weights(weights, size)
 
     if parity is not None:
         reference = np.asarray(estimator(scenario, batch))
-        _check_shape(reference, size)
+        reference_accumulator = accumulate_weights(reference, size)
         if parity == "bitwise":
-            if not np.array_equal(hits, reference):
-                diverged = int(np.sum(hits != reference))
+            if not np.array_equal(weights, reference):
+                diverged = int(np.sum(weights != reference))
                 raise AssertionError(
                     f"namespace {namespace.__name__!r} diverged from the "
                     f"NumPy path on {diverged}/{size} trials of a chunk; "
@@ -130,21 +137,13 @@ def run_chunk_array(
                     "(parity=<max hit drift>) instead of 'bitwise'"
                 )
         else:
-            drift = abs(count - int(reference.sum()))
+            drift = abs(accumulator.sum_w - reference_accumulator.sum_w)
             if drift > int(parity):
                 raise AssertionError(
-                    f"namespace {namespace.__name__!r} hit count drifted "
+                    f"namespace {namespace.__name__!r} weight sum drifted "
                     f"by {drift} > tolerance {parity} on a chunk of {size}"
                 )
-    return count
-
-
-def _check_shape(hits: np.ndarray, size: int) -> None:
-    if hits.shape != (size,):
-        raise ValueError(
-            "estimator must return one boolean per trial, got shape "
-            f"{hits.shape} for chunk of {size}"
-        )
+    return accumulator
 
 
 class ArrayBackend:

@@ -12,17 +12,20 @@ The cache has two granularities:
   SHA-256 digest, and stores the resulting
   :class:`~repro.engine.runner.Estimate` as one small JSON file per
   point.
-* **The chunk ledger** — per-chunk hit counts, keyed by
-  ``(scenario, estimator, seed, chunk_size)`` with one integer per
-  *full* chunk index.  Because the runner's spawned ``SeedSequence``
-  children form a prefix-stable stream (chunk ``i`` is seeded by
-  ``SeedSequence(seed, spawn_key=(i,))`` regardless of how many chunks
-  a run needs), ``trials`` is merely a *prefix length* of the chunk
-  stream: extending a run reuses every previously computed full chunk
-  bit-identically, and only the new chunks (plus the never-ledgered
-  ragged remainder) are sampled.  One ledger file holds all chunks of a
-  run configuration; the runner merges new chunks in as it computes
-  them.
+* **The chunk ledger** — per-chunk weighted accumulators, keyed by
+  ``(scenario, estimator, seed, chunk_size)`` with one
+  ``(sum_w, sum_w2, trials)`` triple per *full* chunk index (schema
+  v2; v1 files stored a bare hit count per index and are read-migrated
+  transparently — an integer ``h`` is exactly the degenerate triple
+  ``(h, h, chunk_size)``).  Because the runner's spawned
+  ``SeedSequence`` children form a prefix-stable stream (chunk ``i`` is
+  seeded by ``SeedSequence(seed, spawn_key=(i,))`` regardless of how
+  many chunks a run needs), ``trials`` is merely a *prefix length* of
+  the chunk stream: extending a run reuses every previously computed
+  full chunk bit-identically, and only the new chunks (plus the
+  never-ledgered ragged remainder) are sampled.  One ledger file holds
+  all chunks of a run configuration; the runner merges new chunks in as
+  it computes them.
 
 Invalidation rule: **any key component changes ⇒ miss.**  There is no
 TTL, no versioning, no partial matching — a cache entry is exactly the
@@ -48,7 +51,8 @@ directory doubles as a tidy record of every point ever computed::
 
     {"key": {"kind": "chunk-ledger", "scenario": {...},
              "estimator": "...", "seed": 7, "chunk_size": 4096},
-     "chunks": {"0": 51, "1": 47, "2": 55}}
+     "version": 2,
+     "chunks": {"0": [51.0, 51.0, 4096], "1": [47.0, 47.0, 4096]}}
 """
 
 from __future__ import annotations
@@ -62,7 +66,12 @@ import os
 import pathlib
 import tempfile
 
-from repro.engine.runner import Estimate, Estimator
+from repro.engine.runner import (
+    ChunkAccumulator,
+    Estimate,
+    Estimator,
+    as_accumulator,
+)
 from repro.engine.scenarios import Scenario
 
 __all__ = [
@@ -72,7 +81,13 @@ __all__ = [
     "format_stats",
     "scenario_fingerprint",
     "CACHE_DIR_ENV",
+    "LEDGER_VERSION",
 ]
+
+#: Current on-disk chunk-ledger schema.  v1 stored one integer hit
+#: count per chunk index; v2 stores the ``[sum_w, sum_w2, trials]``
+#: accumulator triple.  Readers accept both (see ``_load_ledger``).
+LEDGER_VERSION = 2
 
 
 def format_stats(stats: dict) -> str:
@@ -270,14 +285,18 @@ class ResultCache:
 
     # -- chunk ledger --------------------------------------------------
 
-    def get_chunks(self, key: dict, indices) -> dict[int, int]:
-        """Ledgered hit counts for the requested chunk ``indices``.
+    def get_chunks(self, key: dict, indices) -> dict[int, ChunkAccumulator]:
+        """Ledgered accumulators for the requested chunk ``indices``.
 
-        Returns ``{index: hits}`` for every requested index present in
-        the ledger; absent indices are simply missing from the result.
-        Found and absent indices count toward ``chunk_hits`` /
-        ``chunk_misses``.  A corrupt or type-invalid ledger file is an
-        all-miss (and is healed by the next :meth:`put_chunks`).
+        Returns ``{index: ChunkAccumulator}`` for every requested index
+        present in the ledger; absent indices are simply missing from
+        the result.  v1 ledgers (bare integer hit counts) are migrated
+        on read — an integer ``h`` *is* the degenerate triple
+        ``(h, h, chunk_size)`` — so warm pre-v2 ledgers are reused
+        without resampling.  Found and absent indices count toward
+        ``chunk_hits`` / ``chunk_misses``.  A corrupt or type-invalid
+        ledger file is an all-miss (and is healed by the next
+        :meth:`put_chunks`).
         """
         wanted = list(indices)
         stored = self._load_ledger(
@@ -288,13 +307,20 @@ class ResultCache:
         self.chunk_misses += len(wanted) - len(found)
         return found
 
-    def put_chunks(self, key: dict, chunks: dict[int, int]) -> pathlib.Path:
-        """Merge ``chunks`` (``{index: hits}``) into the ledger of ``key``.
+    def put_chunks(
+        self, key: dict, chunks: dict[int, ChunkAccumulator]
+    ) -> pathlib.Path:
+        """Merge ``chunks`` (``{index: accumulator}``) into the ledger.
 
-        Existing entries are kept (they are bit-identical to whatever a
-        re-computation would produce, by the reproducibility contract);
-        the merged ledger is rewritten through the same atomic-rename
-        discipline as :meth:`put`.  Returns the ledger path.
+        Values may be :class:`~repro.engine.runner.ChunkAccumulator`
+        instances, plain triples, or legacy integer hit counts — all are
+        normalised before writing, and the file is always written in the
+        v2 triple schema (so one extension run upgrades a v1 ledger in
+        place).  Existing entries are kept (they are bit-identical to
+        whatever a re-computation would produce, by the reproducibility
+        contract); the merged ledger is rewritten through the same
+        atomic-rename discipline as :meth:`put`.  Returns the ledger
+        path.
 
         Concurrency: the read-merge-rewrite is not locked, so two
         processes extending the same configuration simultaneously can
@@ -305,16 +331,20 @@ class ResultCache:
         per configuration at a time (as the orchestrators provide).
         """
         path = self.ledger_path(key)
-        merged = self._load_ledger(path, int(key["chunk_size"]))
+        chunk_size = int(key["chunk_size"])
+        merged = self._load_ledger(path, chunk_size)
         fresh = {
-            int(index): int(hits)
-            for index, hits in chunks.items()
+            int(index): as_accumulator(value, chunk_size)
+            for index, value in chunks.items()
             if int(index) not in merged
         }
         merged.update(fresh)
         payload = {
             "key": key,
-            "chunks": {str(i): merged[i] for i in sorted(merged)},
+            "version": LEDGER_VERSION,
+            "chunks": {
+                str(i): list(merged[i].as_triple()) for i in sorted(merged)
+            },
         }
         descriptor, temp_name = tempfile.mkstemp(
             dir=self.directory, suffix=".tmp"
@@ -397,12 +427,17 @@ class ResultCache:
     @classmethod
     def _load_ledger(
         cls, path: pathlib.Path, chunk_size: int
-    ) -> dict[int, int]:
-        """The validated ``{index: hits}`` map of one ledger file.
+    ) -> dict[int, ChunkAccumulator]:
+        """The validated ``{index: accumulator}`` map of one ledger file.
 
-        Anything malformed — non-integer indices or counts, counts
-        outside ``[0, chunk_size]`` — degrades to an empty ledger (an
-        all-miss): the ledger is as disposable as every other entry.
+        Two entry shapes are accepted per index: a bare integer hit
+        count (schema v1, migrated to the degenerate triple
+        ``(h, h, chunk_size)``) and a ``[sum_w, sum_w2, trials]`` triple
+        (schema v2).  Anything malformed — non-integer indices, v1
+        counts outside ``[0, chunk_size]``, v2 triples with non-finite
+        moments, negative ``sum_w2``, or a trial count other than
+        ``chunk_size`` — degrades to an empty ledger (an all-miss): the
+        ledger is as disposable as every other entry.
         """
         try:
             entry = json.loads(path.read_text())
@@ -411,15 +446,30 @@ class ResultCache:
         chunks = entry.get("chunks") if isinstance(entry, dict) else None
         if not isinstance(chunks, dict):
             return {}
-        validated: dict[int, int] = {}
-        for index, hits in chunks.items():
+        validated: dict[int, ChunkAccumulator] = {}
+        for index, stored in chunks.items():
             if not isinstance(index, str) or not index.isdigit():
                 return {}
-            if not isinstance(hits, int) or isinstance(hits, bool):
+            if isinstance(stored, int) and not isinstance(stored, bool):
+                # v1: a bare hit count.
+                if not 0 <= stored <= chunk_size:
+                    return {}
+                validated[int(index)] = ChunkAccumulator.from_hits(
+                    stored, chunk_size
+                )
+                continue
+            if not isinstance(stored, list) or len(stored) != 3:
                 return {}
-            if not 0 <= hits <= chunk_size:
+            sum_w, sum_w2, trials = stored
+            if not cls._is_real(sum_w) or not cls._is_real(sum_w2):
                 return {}
-            validated[int(index)] = hits
+            if isinstance(trials, bool) or trials != chunk_size:
+                return {}
+            if sum_w2 < 0:
+                return {}
+            validated[int(index)] = ChunkAccumulator(
+                float(sum_w), float(sum_w2), chunk_size
+            )
         return validated
 
     def __len__(self) -> int:

@@ -3,14 +3,15 @@
 :class:`DistributedBackend` implements the
 :class:`repro.engine.parallel.Backend` protocol by shipping pickled work
 items to ``python -m repro.worker`` processes on other hosts and merging
-the returned hit counts back into the caller's futures (and, through the
-runner, into the chunk ledger).  Because a chunk is a pure function of
-``(scenario, estimator, size, seed)`` — the seed shipped as the spawned
-child's ``(entropy, spawn_key)`` pair, which reconstructs the exact
-``SeedSequence`` on any host — distribution preserves the engine's
-serial ≡ parallel ≡ distributed bit-identity contract: every backend
-produces the same per-chunk counts, so re-execution after a worker loss
-is always safe (at-least-once delivery, exactly-once *semantics*).
+the returned chunk accumulators back into the caller's futures (and,
+through the runner, into the chunk ledger).  Because a chunk is a pure
+function of ``(scenario, estimator, size, seed)`` — the seed shipped as
+the spawned child's ``(entropy, spawn_key)`` pair, which reconstructs
+the exact ``SeedSequence`` on any host — distribution preserves the
+engine's serial ≡ parallel ≡ distributed bit-identity contract: every
+backend produces the same per-chunk moment triples, so re-execution
+after a worker loss is always safe (at-least-once delivery,
+exactly-once *semantics*).
 
 Wire protocol
 -------------
@@ -24,7 +25,12 @@ One TCP connection per worker, length-prefixed pickle frames both ways:
   ``entropy``, ``spawn_key``), ``task`` (``function``, ``args``), and
   ``shutdown`` (graceful worker exit);
 * reply   = ``{"ok": True, "result": ...}`` or ``{"ok": False,
-  "error": <traceback string>}``.
+  "error": <traceback string>}``.  A ``chunk`` reply's ``result`` is
+  the plain ``(sum_w, sum_w2, trials)`` accumulator triple (protocol
+  v2); clients normalise replies through
+  :func:`repro.engine.runner.as_accumulator`, which also accepts the
+  bare v1 hit count, so a mixed-version cluster degrades gracefully
+  instead of corrupting aggregates.
 
 Requests are answered in order on each connection; the backend keeps at
 most one request in flight per worker, so the worker needs no request

@@ -25,6 +25,11 @@ hash indexes.  :func:`run_protocol_scalar` is the per-run reference
 oracle: the same seed tree, but reference-mode simulations and the
 ``*_scalar`` chain-walking predicates.  The two are bit-identical on
 equal seeds; ``benchmarks/run_all.py`` records their throughput ratio.
+
+The violation estimators return boolean flag vectors — under the
+runner's accumulator contract these reduce to *degenerate* per-chunk
+triples, so the scalar oracle's ``estimate_from_hits`` aggregation
+stays bit-identical to the batched path by construction.
 """
 
 from __future__ import annotations

@@ -2,9 +2,25 @@
 
 The runner is the engine's third layer: it takes a declarative
 :class:`repro.engine.scenarios.Scenario`, an *estimator* (a callable
-mapping one sampled :class:`~repro.engine.scenarios.Batch` to a boolean
-hit vector), and executes the requested number of trials in fixed-size
+mapping one sampled :class:`~repro.engine.scenarios.Batch` to a per-trial
+weight vector — a boolean hit vector in the common Bernoulli case, a
+non-negative float likelihood-ratio vector for importance-sampling
+estimators), and executes the requested number of trials in fixed-size
 chunks.
+
+Weighted-accumulator contract
+-----------------------------
+
+Every chunk reduces to a :class:`ChunkAccumulator` — the moment triple
+``(sum_w, sum_w2, trials)`` — and every aggregate (ledger entries, wire
+payloads, wave totals) is a sum of such triples.  A boolean hit vector
+is the degenerate weight vector ``w ∈ {0, 1}``, for which
+``sum_w == sum_w2 == hits`` exactly; :func:`estimate_from_moments`
+detects this and delegates to :func:`estimate_from_hits` so weight-1
+runs reproduce the historical hit-count results **bit-identically**
+(the plug-in variance ``p(1−p)`` and the moment form ``m₂ − p̂²`` differ
+in the last float bits, so the degenerate path must not go through the
+general formula).
 
 Reproducibility contract
 ------------------------
@@ -25,7 +41,7 @@ Because spawned children form a *prefix-stable* stream (child ``i`` is
 ``SeedSequence(seed, spawn_key=(i,))`` no matter how many children a
 run spawns), ``trials`` is just a prefix length of one infinite chunk
 stream.  The runner exploits this through the cache's **chunk ledger**:
-every *full* chunk's hit count is stored under
+every *full* chunk's accumulator triple is stored under
 ``(scenario, estimator, seed, chunk_size, chunk_index)``, so extending
 a run (say 10k → 50k trials) re-samples only the new chunks and the
 ragged remainder — previously computed full chunks are reused
@@ -41,7 +57,8 @@ targeting** on top of the same chunk stream: waves of full chunks are
 dispatched (doubling per wave) until the estimate's standard error
 meets ``target_se`` / ``rel_se`` or ``max_trials`` is exhausted.  The
 stopping decision is evaluated only at wave boundaries on aggregated
-hit counts, so the realized trial count is a deterministic function of
+weighted moments (the weighted SE for importance-sampling estimators),
+so the realized trial count is a deterministic function of
 ``(seed, stopping rule)`` — identical for every backend and worker
 count, and fully ledger-cacheable.
 
@@ -66,7 +83,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.cache import ResultCache
     from repro.engine.parallel import Backend, ProcessBackend
 
-#: An estimator maps (scenario, batch) to a boolean hit vector.
+#: An estimator maps (scenario, batch) to a per-trial weight vector:
+#: boolean hits for plain Monte Carlo, non-negative float likelihood
+#: ratios for importance-sampling estimators.
 Estimator = Callable[[Scenario, Batch], np.ndarray]
 
 
@@ -79,9 +98,132 @@ class Estimate:
     trials: int
 
     def within(self, target: float, sigmas: float = 4.0) -> bool:
-        """Is ``target`` within ``sigmas`` standard errors of the estimate?"""
+        """Is ``target`` within ``sigmas`` standard errors of the estimate?
+
+        A zero ``standard_error`` only leaves the ``1e-12`` slack, so
+        estimate constructors must never report ``se == 0`` for a sample
+        that carries genuine uncertainty: :func:`estimate_from_hits`
+        Laplace-smooths the all-hit/all-miss boundary and
+        :func:`estimate_from_moments` floors the degenerate
+        all-equal-weight case at ``|p̂| / sqrt(n)``.
+        """
         slack = sigmas * self.standard_error + 1e-12
         return abs(self.value - target) <= slack
+
+
+@dataclass(frozen=True)
+class ChunkAccumulator:
+    """The weighted moment triple one chunk (or any union of chunks)
+    reduces to: ``sum_w = Σ wᵢ``, ``sum_w2 = Σ wᵢ²`` over ``trials``
+    per-trial weights.
+
+    This is the engine's estimation currency: chunk workers return it,
+    the chunk ledger stores it (schema v2), the distributed wire carries
+    it as a plain ``(sum_w, sum_w2, trials)`` triple, and
+    :func:`estimate_from_moments` turns an aggregate into an
+    :class:`Estimate`.  Addition merges disjoint trial sets; ``0`` is
+    accepted as the additive identity so built-in :func:`sum` works.
+    """
+
+    sum_w: float
+    sum_w2: float
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.trials < 0:
+            raise ValueError(f"trials must be >= 0, got {self.trials}")
+        if not (math.isfinite(self.sum_w) and math.isfinite(self.sum_w2)):
+            raise ValueError(
+                f"accumulator moments must be finite, got "
+                f"({self.sum_w}, {self.sum_w2})"
+            )
+        if self.sum_w2 < 0:
+            raise ValueError(f"sum_w2 must be >= 0, got {self.sum_w2}")
+
+    @classmethod
+    def zero(cls) -> "ChunkAccumulator":
+        return cls(0.0, 0.0, 0)
+
+    @classmethod
+    def from_hits(cls, hits: int, trials: int) -> "ChunkAccumulator":
+        """The degenerate (0/1-weight) triple: ``sum_w == sum_w2 == hits``."""
+        if not 0 <= hits <= trials:
+            raise ValueError(f"hits = {hits} outside [0, {trials}]")
+        return cls(float(hits), float(hits), int(trials))
+
+    @property
+    def degenerate(self) -> bool:
+        """True when the triple is consistent with 0/1 weights — the
+        exact condition under which :func:`estimate_from_moments`
+        delegates to :func:`estimate_from_hits`."""
+        return (
+            self.sum_w == self.sum_w2
+            and float(self.sum_w).is_integer()
+            and 0.0 <= self.sum_w <= self.trials
+        )
+
+    def as_triple(self) -> tuple[float, float, int]:
+        """The plain-data wire/ledger form."""
+        return (self.sum_w, self.sum_w2, self.trials)
+
+    def __add__(self, other: "ChunkAccumulator") -> "ChunkAccumulator":
+        if isinstance(other, int) and other == 0:
+            return self
+        if not isinstance(other, ChunkAccumulator):
+            return NotImplemented
+        return ChunkAccumulator(
+            self.sum_w + other.sum_w,
+            self.sum_w2 + other.sum_w2,
+            self.trials + other.trials,
+        )
+
+    __radd__ = __add__
+
+
+def as_accumulator(value, size: int) -> ChunkAccumulator:
+    """Normalise a chunk result to a :class:`ChunkAccumulator`.
+
+    Accepts the accumulator itself, the plain ``(sum_w, sum_w2, trials)``
+    triple the distributed wire and the v2 ledger carry, or a bare
+    integer hit count — the v1 wire/ledger form, kept so mixed-version
+    clusters and warm v1 ledgers keep working (``size`` supplies the
+    trial count those legacy payloads omitted).
+    """
+    if isinstance(value, ChunkAccumulator):
+        return value
+    if isinstance(value, (tuple, list)) and len(value) == 3:
+        return ChunkAccumulator(
+            float(value[0]), float(value[1]), int(value[2])
+        )
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        return ChunkAccumulator.from_hits(int(value), size)
+    raise TypeError(
+        f"cannot interpret chunk result {value!r} as an accumulator"
+    )
+
+
+def accumulate_weights(weights: np.ndarray, size: int) -> ChunkAccumulator:
+    """Reduce one chunk's per-trial weight vector to its moment triple.
+
+    Boolean vectors take the exact integer path (``sum_w == sum_w2 ==
+    hits``, bit-identical to the historical hit count); anything else is
+    treated as non-negative float weights.
+    """
+    if weights.shape != (size,):
+        raise ValueError(
+            "estimator must return one weight per trial, got shape "
+            f"{weights.shape} for chunk of {size}"
+        )
+    if weights.dtype == np.bool_:
+        return ChunkAccumulator.from_hits(int(weights.sum()), size)
+    flat = np.asarray(weights, dtype=np.float64)
+    if not np.all(np.isfinite(flat)):
+        raise ValueError("estimator weights must be finite")
+    if flat.size and float(flat.min()) < 0.0:
+        raise ValueError("estimator weights must be non-negative")
+    return ChunkAccumulator(
+        float(flat.sum()), float(np.square(flat).sum()), size
+    )
 
 
 def estimate_from_hits(hits: int, trials: int) -> Estimate:
@@ -112,6 +254,41 @@ def estimate_from_hits(hits: int, trials: int) -> Estimate:
     else:
         se = math.sqrt(rate * (1.0 - rate) / trials)
     return Estimate(rate, se, trials)
+
+
+def estimate_from_moments(accumulator: ChunkAccumulator) -> Estimate:
+    """Turn an aggregated weighted-moment triple into an :class:`Estimate`.
+
+    The mean is ``p̂ = sum_w / n`` and the standard error the plug-in
+    ``sqrt((sum_w2/n − p̂²) / n)``.  Two guards:
+
+    * **Degenerate triples** (consistent with 0/1 weights —
+      ``sum_w == sum_w2``, integral, within ``[0, n]``) delegate to
+      :func:`estimate_from_hits` wholesale.  This is the bit-identity
+      guarantee: weight-1 runs reproduce the historical hit-count
+      estimates exactly, including the Laplace-smoothed boundary SE —
+      the moment-form variance ``m₂ − p̂²`` differs from ``p(1−p)`` in
+      the last float bits, so it must not be used here.
+    * **All-equal non-unit weights** make the moment variance collapse
+      to zero even though the weighted sample carries genuine ``O(1/√n)``
+      uncertainty (e.g. an importance-sampling chunk where every trial
+      hit with the same likelihood ratio).  A zero SE would let
+      :meth:`Estimate.within` and the adaptive ``run_until`` stopping
+      rule terminate on a spuriously exact estimate, so the SE is
+      floored at ``|p̂| / sqrt(n)`` — one trial's worth of relative
+      uncertainty.
+    """
+    trials = accumulator.trials
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if accumulator.degenerate:
+        return estimate_from_hits(int(accumulator.sum_w), trials)
+    value = accumulator.sum_w / trials
+    variance = max(accumulator.sum_w2 / trials - value * value, 0.0)
+    se = math.sqrt(variance / trials)
+    if se == 0.0 and accumulator.sum_w != 0.0:
+        se = abs(value) / math.sqrt(trials)
+    return Estimate(value, se, trials)
 
 
 # ----------------------------------------------------------------------
@@ -245,8 +422,8 @@ def run_chunk(
     estimator: Estimator,
     size: int,
     seed_sequence: np.random.SeedSequence,
-) -> int:
-    """Sample and evaluate one chunk; returns its hit count.
+) -> ChunkAccumulator:
+    """Sample and evaluate one chunk; returns its moment triple.
 
     Top-level (picklable) on purpose: this is the unit of work shipped to
     :class:`repro.engine.parallel.ProcessBackend` workers.  Each chunk
@@ -256,13 +433,8 @@ def run_chunk(
     """
     generator = np.random.default_rng(seed_sequence)
     batch = scenario.sample_batch(size, generator)
-    hits = np.asarray(estimator(scenario, batch))
-    if hits.shape != (size,):
-        raise ValueError(
-            "estimator must return one boolean per trial, got shape "
-            f"{hits.shape} for chunk of {size}"
-        )
-    return int(hits.sum())
+    weights = np.asarray(estimator(scenario, batch))
+    return accumulate_weights(weights, size)
 
 
 # ----------------------------------------------------------------------
@@ -315,12 +487,18 @@ class PendingEstimate:
     submitted: tuple[int, ...] = ()
     #: Number of *full* chunks in the partition (ragged excluded).
     full_chunks: int = 0
-    #: Aggregate hits of the ledger-served chunks.
-    reused_hits: int = 0
+    #: Aggregate accumulator of the ledger-served chunks.
+    reused: ChunkAccumulator | None = None
     #: Trials served by the ledger (``reused_chunks * chunk_size``).
     reused_trials: int = 0
     _resolved: Estimate | None = None
     report: RunReport | None = None
+
+    def _chunk_trials(self, index: int) -> int:
+        """The trial count of chunk ``index`` in this run's partition."""
+        if index < self.full_chunks:
+            return self.runner.chunk_size
+        return self.trials - self.full_chunks * self.runner.chunk_size
 
     def result(self) -> Estimate:
         """Block until every submitted chunk is done; the aggregate."""
@@ -328,14 +506,16 @@ class PendingEstimate:
             if self.report is not None:
                 self.runner.last_report = self.report
             return self._resolved
-        hits = self.reused_hits
-        new_chunks: dict[int, int] = {}
+        total = self.reused or ChunkAccumulator.zero()
+        new_chunks: dict[int, ChunkAccumulator] = {}
         for index, future in zip(self.submitted, self.futures):
-            chunk_hits = future.result()
-            hits += chunk_hits
+            chunk = as_accumulator(
+                future.result(), self._chunk_trials(index)
+            )
+            total += chunk
             if index < self.full_chunks:
-                new_chunks[index] = chunk_hits
-        estimate = estimate_from_hits(hits, self.trials)
+                new_chunks[index] = chunk
+        estimate = estimate_from_moments(total)
         if self.ledger_key is not None and new_chunks:
             self.runner.cache.put_chunks(self.ledger_key, new_chunks)
         if self.key is not None:
@@ -470,7 +650,7 @@ class ExperimentRunner:
         if trials < 1:
             raise ValueError("trials must be positive")
         key = ledger_key = None
-        reused: dict[int, int] = {}
+        reused: dict[int, ChunkAccumulator] = {}
         full = trials // self.chunk_size
         if self.cache is not None:
             key = self.cache.key(
@@ -519,7 +699,7 @@ class ExperimentRunner:
             ledger_key=ledger_key,
             submitted=submitted,
             full_chunks=full,
-            reused_hits=sum(reused.values()),
+            reused=sum(reused.values(), ChunkAccumulator.zero()),
             reused_trials=len(reused) * self.chunk_size,
         )
 
@@ -555,9 +735,9 @@ class ExperimentRunner:
         ``max_trials`` trials, bit-identical to
         ``run(max_trials, seed)`` — is returned regardless.
 
-        Because hit counts are backend-independent and each wave's size
-        is a pure function of the aggregated hits so far (which are
-        themselves bit-identical on every backend) plus
+        Because per-chunk accumulators are backend-independent and each
+        wave's size is a pure function of the aggregated moments so far
+        (which are themselves bit-identical on every backend) plus
         ``(chunk_size, initial_chunks, max_trials)``, the realized
         trial count is a deterministic function of
         ``(seed, stopping rule)``: 1, 2, and 4 workers return
@@ -617,7 +797,8 @@ class ExperimentRunner:
             ledger_key = self.cache.ledger_key(
                 self.scenario, self.estimator, seed, self.chunk_size
             )
-        hits = chunks_done = 0
+        total = ChunkAccumulator.zero()
+        chunks_done = 0
         reused_trials = sampled_trials = 0
         reused_chunks = sampled_chunks = waves = 0
         estimate: Estimate | None = None
@@ -647,7 +828,7 @@ class ExperimentRunner:
                 )
             wave = range(chunks_done, goal)
             children = np.random.SeedSequence(seed).spawn(goal)
-            reused: dict[int, int] = {}
+            reused: dict[int, ChunkAccumulator] = {}
             if ledger_key is not None:
                 reused = self.cache.get_chunks(ledger_key, wave)
             to_sample = [index for index in wave if index not in reused]
@@ -658,21 +839,20 @@ class ExperimentRunner:
                 [children[index] for index in to_sample],
             )
             fresh = {
-                index: future.result()
+                index: as_accumulator(future.result(), self.chunk_size)
                 for index, future in zip(to_sample, futures)
             }
             if ledger_key is not None and fresh:
                 self.cache.put_chunks(ledger_key, fresh)
-            hits += sum(reused.values()) + sum(fresh.values())
+            total += sum(reused.values(), ChunkAccumulator.zero())
+            total += sum(fresh.values(), ChunkAccumulator.zero())
             reused_trials += len(reused) * self.chunk_size
             sampled_trials += len(fresh) * self.chunk_size
             reused_chunks += len(reused)
             sampled_chunks += len(fresh)
             chunks_done = goal
             waves += 1
-            estimate = estimate_from_hits(
-                hits, chunks_done * self.chunk_size
-            )
+            estimate = estimate_from_moments(total)
             if met(estimate):
                 break
         else:
@@ -687,13 +867,11 @@ class ExperimentRunner:
                     [ragged],
                     [children[full_max]],
                 )
-                hits += future.result()
+                total += as_accumulator(future.result(), ragged)
                 sampled_trials += ragged
                 sampled_chunks += 1
                 waves += 1
-                estimate = estimate_from_hits(
-                    hits, full_max * self.chunk_size + ragged
-                )
+                estimate = estimate_from_moments(total)
         assert estimate is not None  # max_trials >= 1 guarantees a wave
         if self.cache is not None:
             key = self.cache.key(
@@ -720,20 +898,15 @@ class ExperimentRunner:
         self, trials: int, generator: np.random.Generator
     ) -> Estimate:
         """Legacy sequential path: consume an existing generator in order."""
-        hits = 0
+        total = ChunkAccumulator.zero()
         remaining = trials
         while remaining > 0:
             chunk = min(self.chunk_size, remaining)
             batch = self.scenario.sample_batch(chunk, generator)
-            chunk_hits = np.asarray(self.estimator(self.scenario, batch))
-            if chunk_hits.shape != (chunk,):
-                raise ValueError(
-                    "estimator must return one boolean per trial, got shape "
-                    f"{chunk_hits.shape} for chunk of {chunk}"
-                )
-            hits += int(chunk_hits.sum())
+            weights = np.asarray(self.estimator(self.scenario, batch))
+            total += accumulate_weights(weights, chunk)
             remaining -= chunk
-        return estimate_from_hits(hits, trials)
+        return estimate_from_moments(total)
 
 
 def run_scenario(

@@ -15,7 +15,11 @@ sampled twice even when trial budgets change).  Grids may declare
 per-point precision targets (``target_se`` / ``rel_se`` /
 ``max_trials``): the run then goes through the adaptive
 :meth:`~repro.engine.runner.ExperimentRunner.run_until` path and rare
-cells automatically receive more trials than easy ones.
+cells automatically receive more trials than easy ones.  Estimators may
+return boolean *or* float weight vectors (the accumulator contract of
+:mod:`repro.engine.runner`); the tidy rows carry the weighted value and
+standard error either way, so importance-sampled workloads sweep
+exactly like indicator ones.
 
 Axes come in two kinds:
 
@@ -336,8 +340,9 @@ def run_grid(
         active = backend if backend is not None else SerialBackend()
         if adaptive:
             # Adaptive points are sequential by construction: each wave's
-            # stopping decision needs the previous wave's hits.  Chunk
-            # waves still spread across the shared backend.
+            # stopping decision needs the previous wave's aggregated
+            # moments.  Chunk waves still spread across the shared
+            # backend.
             rows = []
             for runner, point in zip(runners, points):
                 estimate = runner.run_until(

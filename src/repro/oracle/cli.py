@@ -136,7 +136,7 @@ def _cmd_query(args) -> int:
             "violation_probability": value,
         }
     else:
-        depth = oracle.settlement_depth(
+        depth, source = oracle.settlement_depth_with_source(
             args.alpha, args.fraction, args.delta, args.target
         )
         payload = {
@@ -145,6 +145,7 @@ def _cmd_query(args) -> int:
             "delta": args.delta,
             "target": args.target,
             "depth": depth,
+            "source": source,
         }
     print(json.dumps(payload))
     return 0

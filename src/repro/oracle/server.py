@@ -13,14 +13,23 @@ Endpoints::
                                          -> {"violation_probability": p,
                                              "conservative": true}
     GET  /v1/depth?alpha=&unique_fraction=&delta=&target=
-                                         -> {"depth": k | null}
+                                         -> {"depth": k | null,
+                                             "source": "table" |
+                                                       "analytic" | null}
     POST /v1/violation   {"alpha": [...], "unique_fraction": [...],
                           "delta": [...], "depth": [...]}
                                          -> {"violation_probability": [...]}
     POST /v1/depth       {"alpha": [...], "unique_fraction": [...],
                           "delta": [...], "target": [...]}
-                                         -> {"depth": [...]}   (-1 =
+                                         -> {"depth": [...],
+                                             "source": [...]}  (-1/null =
                                             unreachable at this horizon)
+
+Depth answers carry provenance: ``"table"`` when the exact-DP
+minimal-depth table answered, ``"analytic"`` when the table's cell is
+below the DP horizon's resolution but the certified Theorem 1 bound
+reaches the target (the depth is then that certified upper bound — a
+finite conservative answer where older servers said ``null``).
 
 Batch POST bodies are *columnar* (one array per coordinate) so the
 handler can feed them to the vectorized oracle methods unchanged — one
@@ -62,8 +71,10 @@ def _single_answer(
             alpha, fraction, delta, last
         )
         return {"violation_probability": probability, "conservative": True}
-    depth = oracle.settlement_depth(alpha, fraction, delta, last)
-    return {"depth": depth, "conservative": True}
+    depth, source = oracle.settlement_depth_with_source(
+        alpha, fraction, delta, last
+    )
+    return {"depth": depth, "source": source, "conservative": True}
 
 
 def _batch_answer(oracle: SettlementOracle, path: str, body: dict) -> dict:
@@ -84,8 +95,10 @@ def _batch_answer(oracle: SettlementOracle, path: str, body: dict) -> dict:
     if path == "/v1/violation":
         values = oracle.violation_probabilities(*columns, strict=strict)
         return {"violation_probability": [float(v) for v in values]}
-    depths = oracle.settlement_depths(*columns, strict=strict)
-    return {"depth": [int(v) for v in depths]}
+    depths, sources = oracle.settlement_depths_with_source(
+        *columns, strict=strict
+    )
+    return {"depth": [int(v) for v in depths], "source": sources}
 
 
 def make_server(

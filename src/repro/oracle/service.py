@@ -38,6 +38,18 @@ value is an upper bound on the true value at the query point: the
 oracle never reports a smaller failure probability, or a shallower
 settlement depth, than the exact DP would.
 
+**Certified analytic fallback.**  A depth query whose snapped cell
+holds the ``−1`` sentinel (target below the DP horizon's resolution)
+need not go unanswered: the table also carries ``analytic_depth`` —
+the smallest k whose *certified* Theorem 1 upper bound (Bound 1's
+dominating series with prefix correction) meets the target, searched
+``8×`` past the DP horizon.  The source-aware query forms
+(:meth:`~SettlementOracle.settlement_depth_with_source` and its batch
+twin) fall back to that cell and label the answer
+``source = "analytic"`` — still conservative, because the bound
+dominates the exact DP and the axis snapping is unchanged.  The plain
+forms keep their historical table-only contract.
+
 Queries *outside* the grid hull cannot be conservatively answered from
 the table; by default they raise :class:`OracleDomainError`.  With
 ``strict=False`` they saturate to the trivially safe answers instead
@@ -149,6 +161,14 @@ class SettlementOracle:
             "activity": spec.activity,
             "depth_horizon": spec.depth_horizon,
             "cells": int(self.tables.forward.size),
+            # How many DP-unreachable depth cells the certified Theorem 1
+            # bound rescues (finite analytic answer where the table is -1).
+            "analytic_cells": int(
+                (
+                    (np.asarray(self.tables.minimal_depth) == UNREACHABLE_DEPTH)
+                    & (np.asarray(self.tables.analytic_depth) >= 0)
+                ).sum()
+            ),
         }
 
     # -- query plumbing ------------------------------------------------
@@ -290,24 +310,11 @@ class SettlementOracle:
 
     # -- inverse queries: (alpha, fraction, delta, target) -> depth ----
 
-    def settlement_depths(
-        self,
-        alphas,
-        fractions,
-        deltas,
-        targets,
-        strict: bool = True,
-    ) -> np.ndarray:
-        """Vectorized minimal settlement depths (int64).
-
-        For each query: the smallest tabulated k whose exact violation
-        probability at the conservatively snapped cell is ≤ the largest
-        grid target that is ≤ the query target.  ``UNREACHABLE_DEPTH``
-        (−1) marks targets not reachable within the table's depth
-        horizon.  Out-of-hull coordinates — including targets below the
-        grid's strictest — raise (``strict=True``) or return −1
-        (``strict=False``).
-        """
+    def _depth_indexes(
+        self, alphas, fractions, deltas, targets, strict: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Snapped cell + target indexes shared by both batch depth
+        forms; the final mask flags rows with no conservative answer."""
         alphas = _as_array(alphas, "alphas")
         fractions = _as_array(fractions, "fractions")
         deltas = _as_array(deltas, "deltas")
@@ -333,8 +340,65 @@ class SettlementOracle:
             )
         ascending = np.maximum(ascending, 0)
         ti = len(self._targets_ascending) - 1 - ascending
+        return ai, fi, di, ti, invalid | loose
+
+    def settlement_depths(
+        self,
+        alphas,
+        fractions,
+        deltas,
+        targets,
+        strict: bool = True,
+    ) -> np.ndarray:
+        """Vectorized minimal settlement depths (int64), table-only.
+
+        For each query: the smallest tabulated k whose exact violation
+        probability at the conservatively snapped cell is ≤ the largest
+        grid target that is ≤ the query target.  ``UNREACHABLE_DEPTH``
+        (−1) marks targets not reachable within the table's depth
+        horizon.  Out-of-hull coordinates — including targets below the
+        grid's strictest — raise (``strict=True``) or return −1
+        (``strict=False``).  Use :meth:`settlement_depths_with_source`
+        to also consult the certified analytic fallback.
+        """
+        ai, fi, di, ti, bad = self._depth_indexes(
+            alphas, fractions, deltas, targets, strict
+        )
         values = np.asarray(self.tables.minimal_depth)[ai, fi, di, ti]
-        return np.where(invalid | loose, UNREACHABLE_DEPTH, values)
+        return np.where(bad, UNREACHABLE_DEPTH, values)
+
+    def settlement_depths_with_source(
+        self,
+        alphas,
+        fractions,
+        deltas,
+        targets,
+        strict: bool = True,
+    ) -> tuple[np.ndarray, list]:
+        """Batch depths with provenance: ``(depths, sources)``.
+
+        ``sources[i]`` is ``"table"`` when the DP table answered,
+        ``"analytic"`` when the table's cell holds the −1 sentinel but
+        the certified Theorem 1 bound reaches the target within its
+        extended horizon (the returned depth is then that certified
+        upper bound), and ``None`` when neither can answer (the depth
+        is ``UNREACHABLE_DEPTH``).
+        """
+        ai, fi, di, ti, bad = self._depth_indexes(
+            alphas, fractions, deltas, targets, strict
+        )
+        table = np.asarray(self.tables.minimal_depth)[ai, fi, di, ti]
+        analytic = np.asarray(self.tables.analytic_depth)[ai, fi, di, ti]
+        fallback = (table == UNREACHABLE_DEPTH) & (analytic >= 0) & ~bad
+        depths = np.where(fallback, analytic, table)
+        depths = np.where(bad, UNREACHABLE_DEPTH, depths)
+        sources = [
+            None
+            if depth == UNREACHABLE_DEPTH
+            else ("analytic" if analytic_used else "table")
+            for depth, analytic_used in zip(depths, fallback)
+        ]
+        return depths, sources
 
     def settlement_depth(
         self,
@@ -345,11 +409,39 @@ class SettlementOracle:
         strict: bool = True,
     ) -> int | None:
         """Scalar form of :meth:`settlement_depths` (same bisect fast
-        path as :meth:`violation_probability`).
+        path as :meth:`violation_probability`), table-only.
 
         Returns ``None`` instead of the −1 sentinel when the target is
         not reachable within the table's depth horizon.
         """
+        depth, _ = self._scalar_depth(
+            alpha, unique_fraction, delta, target, strict
+        )
+        return depth
+
+    def settlement_depth_with_source(
+        self,
+        alpha: float,
+        unique_fraction: float,
+        delta: int,
+        target: float,
+        strict: bool = True,
+    ) -> tuple[int | None, str | None]:
+        """Scalar :meth:`settlement_depths_with_source`:
+        ``(depth | None, "table" | "analytic" | None)``."""
+        return self._scalar_depth(
+            alpha, unique_fraction, delta, target, strict, fallback=True
+        )
+
+    def _scalar_depth(
+        self,
+        alpha: float,
+        unique_fraction: float,
+        delta: int,
+        target: float,
+        strict: bool,
+        fallback: bool = False,
+    ) -> tuple[int | None, str | None]:
         cell = self._scalar_cell(alpha, unique_fraction, delta, strict, "depth")
         if not isinstance(target, numbers.Real) or not math.isfinite(target):
             raise ValueError(
@@ -363,10 +455,16 @@ class SettlementOracle:
                     "table's tightest target "
                     f"{self._target_list_ascending[0]}"
                 )
-            return None
+            return None, None
         if cell is None:
-            return None
+            return None, None
         ai, fi, di = cell
         ti = len(self._target_list_ascending) - 1 - ascending
         depth = int(self.tables.minimal_depth[ai, fi, di, ti])
-        return None if depth == UNREACHABLE_DEPTH else depth
+        if depth != UNREACHABLE_DEPTH:
+            return depth, "table"
+        if fallback:
+            certified = int(self.tables.analytic_depth[ai, fi, di, ti])
+            if certified != UNREACHABLE_DEPTH:
+                return certified, "analytic"
+        return None, None

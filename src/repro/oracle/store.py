@@ -5,6 +5,7 @@ An artifact is a directory::
     <dir>/manifest.json        # format, version, spec, fingerprint, checksums
     <dir>/forward.npy          # float64 (|α|, |frac|, |Δ|, |k|)
     <dir>/minimal_depth.npy    # int64   (|α|, |frac|, |Δ|, |targets|)
+    <dir>/analytic_depth.npy   # int64   (|α|, |frac|, |Δ|, |targets|)
 
 The **fingerprint** is the SHA-256 of the canonical JSON of
 ``{"format", "format_version", "spec"}`` — computed by the very same
@@ -63,11 +64,15 @@ FORMAT = "repro-settlement-oracle-tables"
 #: v1 manifests re-fingerprint differently — the version check turns
 #: that into an accurate "incompatible version" error instead of a
 #: misleading "manifest edited" one.
-FORMAT_VERSION = 2
+#: v3: the artifact grew the ``analytic_depth`` array (certified
+#: Theorem 1 fallback for DP-unreachable minimal-depth cells); v2
+#: artifacts lack the file, so they must rebuild rather than load.
+FORMAT_VERSION = 3
 
 _ARRAYS = {
     "forward": ("forward.npy", np.float64),
     "minimal_depth": ("minimal_depth.npy", np.int64),
+    "analytic_depth": ("analytic_depth.npy", np.int64),
 }
 
 
@@ -153,7 +158,11 @@ def save_tables(
     """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    arrays = {"forward": tables.forward, "minimal_depth": tables.minimal_depth}
+    arrays = {
+        "forward": tables.forward,
+        "minimal_depth": tables.minimal_depth,
+        "analytic_depth": tables.analytic_depth,
+    }
     entries = {}
     for name, (filename, dtype) in _ARRAYS.items():
         array = np.ascontiguousarray(arrays[name], dtype=dtype)
@@ -241,4 +250,5 @@ def load_tables(
         spec=spec,
         forward=loaded["forward"],
         minimal_depth=loaded["minimal_depth"],
+        analytic_depth=loaded["analytic_depth"],
     )

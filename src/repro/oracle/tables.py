@@ -15,7 +15,19 @@ precomputes dense grids of answers so the query service
 * ``minimal_depth`` — ``(α, fraction, Δ, target) → min { k :
   Pr[violation at k] ≤ target }``, read off one dense DP sweep to the
   spec's depth horizon per (α, fraction, Δ) combination (sentinel
-  ``−1``: the target is not reachable within the horizon).
+  ``−1``: the target is not reachable within the horizon);
+* ``analytic_depth`` — the same inverse question answered from the
+  paper's *certified* Theorem 1 upper bound (Bound 1's dominating
+  series with the stationary prefix correction, summed through
+  :func:`repro.analysis.genfunc.probability_tail`) instead of the DP.
+  The bound dominates the exact violation probability at every k
+  (property-tested in ``tests/analysis/test_bounds.py``), so each cell
+  is a *certified upper bound* on the true minimal depth.  Because the
+  bound is analytic, its search horizon extends ``8×`` past the DP
+  horizon: cells whose DP sentinel is ``−1`` (target below the
+  tabulated resolution) usually still get a finite certified answer
+  here — the query service falls back to it with
+  ``source = "analytic"``.
 
 Δ handling: the slot distribution is the active-slot composition
 ``from_adversarial_stake(α, fraction)`` thinned to activity ``f``
@@ -45,6 +57,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis import genfunc
 from repro.analysis.exact import (
     compute_settlement_probabilities,
     settlement_violation_probability,
@@ -61,6 +74,7 @@ from repro.engine.runner import Estimate
 from repro.engine.sweeps import SweepGrid, run_grid
 
 __all__ = [
+    "ANALYTIC_HORIZON_FACTOR",
     "OracleSpec",
     "OracleTables",
     "BuildReport",
@@ -69,6 +83,13 @@ __all__ = [
     "build_tables",
     "effective_probabilities",
 ]
+
+#: The certified-bound search sweeps to this multiple of the DP depth
+#: horizon.  The bound is a cheap series tail (no DP grid), so the
+#: extra reach costs one coefficient vector per combo; part of the
+#: artifact format (changing it changes ``analytic_depth`` cells, which
+#: the store's FORMAT_VERSION covers).
+ANALYTIC_HORIZON_FACTOR = 8
 
 
 def effective_probabilities(
@@ -226,11 +247,18 @@ class OracleTables:
     effective law.  ``minimal_depth[i, j, l, n]`` is the smallest
     integer k (≤ ``depth_horizon``) whose violation probability is
     ≤ ``targets[n]``, or ``−1`` when no such k exists in the horizon.
+    ``analytic_depth[i, j, l, n]`` is the smallest k whose *certified*
+    Theorem 1 bound is ≤ the target, searched to
+    ``ANALYTIC_HORIZON_FACTOR × depth_horizon`` (``−1``: the bound
+    cannot certify the target even there).  ``analytic_depth = None``
+    constructs an all-``−1`` array — the state of artifacts built
+    before the bound was tabulated, and of hand-built test tables.
     """
 
     spec: OracleSpec
     forward: np.ndarray
     minimal_depth: np.ndarray
+    analytic_depth: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         expected = self.spec.shape
@@ -242,6 +270,17 @@ class OracleTables:
         if tuple(self.minimal_depth.shape) != depth_shape:
             raise ValueError(
                 f"minimal_depth shape {self.minimal_depth.shape} != "
+                f"{depth_shape}"
+            )
+        if self.analytic_depth is None:
+            object.__setattr__(
+                self,
+                "analytic_depth",
+                np.full(depth_shape, -1, dtype=np.int64),
+            )
+        elif tuple(self.analytic_depth.shape) != depth_shape:
+            raise ValueError(
+                f"analytic_depth shape {self.analytic_depth.shape} != "
                 f"{depth_shape}"
             )
 
@@ -303,6 +342,51 @@ def _minimal_depth_row(
             row.extend([-1] * (len(targets) - len(row)))
             break
         search_from = found
+    return row
+
+
+def _analytic_depth_row(
+    probabilities: SlotProbabilities,
+    horizon: int,
+    targets: tuple[float, ...],
+) -> list[int]:
+    """Certified minimal depths via Theorem 1's Bound 1 tail.
+
+    One dominating-series build per combo (Bound 1 with the stationary
+    prefix correction), then a binary search per target over
+    :func:`~repro.analysis.genfunc.probability_tail`, which is
+    non-increasing in k.  Every returned depth k satisfies
+    ``bound(k) ≤ target`` and the bound dominates the exact DP, so the
+    answer is a *certified upper bound* on the true minimal depth —
+    never anti-conservative, merely deeper than strictly necessary.
+
+    Degenerate laws are left uncertified (all ``−1``): ``p_unique = 0``
+    makes Bound 1 vacuous, and ``ε ≥ 1`` (no adversary) makes the DP
+    itself exact at depth 1, so the fallback would never be consulted.
+    """
+    epsilon = probabilities.epsilon
+    q_unique = probabilities.p_unique
+    if not 0.0 < epsilon < 1.0 or q_unique <= 0.0:
+        return [-1] * len(targets)
+    order = horizon + 320
+    series = genfunc.bound1_dominating_series(epsilon, q_unique, order)
+    correction = genfunc.stationary_prefix_correction(epsilon, order)
+    series = genfunc.series_multiply(correction, series, order)
+    row = []
+    search_from = 1
+    for target in targets:  # strictly decreasing: minimal k only grows
+        if genfunc.probability_tail(series, horizon) > target:
+            row.extend([-1] * (len(targets) - len(row)))
+            break
+        low, high = search_from, horizon
+        while low < high:
+            middle = (low + high) // 2
+            if genfunc.probability_tail(series, middle) <= target:
+                high = middle
+            else:
+                low = middle + 1
+        row.append(low)
+        search_from = low
     return row
 
 
@@ -395,6 +479,8 @@ def build_tables(
     shape = spec.shape
     forward = np.empty(shape, dtype=np.float64)
     minimal = np.empty(shape[:3] + (len(spec.targets),), dtype=np.int64)
+    analytic = np.empty(shape[:3] + (len(spec.targets),), dtype=np.int64)
+    analytic_horizon = ANALYTIC_HORIZON_FACTOR * spec.depth_horizon
 
     owned = None
     shared = backend is not None
@@ -422,10 +508,24 @@ def build_tables(
             )
             for (i, j, l), law in laws.items()
         }
+        analytic_futures = {
+            (i, j, l): backend.submit_task(
+                _analytic_depth_row, law, analytic_horizon, spec.targets
+            )
+            for (i, j, l), law in laws.items()
+        }
         for (i, j, l, m), future in cell_futures.items():
             forward[i, j, l, m] = future.result()
         for (i, j, l), future in row_futures.items():
             minimal[i, j, l, :] = future.result()
+        for (i, j, l), future in analytic_futures.items():
+            analytic[i, j, l, :] = future.result()
+        rescuable = (minimal < 0) & (analytic >= 0)
+        emit(
+            f"certified analytic fallback (horizon {analytic_horizon}) "
+            f"covers {int(rescuable.sum())} of {int((minimal < 0).sum())} "
+            "DP-unreachable minimal-depth cells"
+        )
 
         mc_points = mc_cached = 0
         if spec.mc_trials:
@@ -470,7 +570,12 @@ def build_tables(
         if owned is not None:
             owned.close()
 
-    tables = OracleTables(spec=spec, forward=forward, minimal_depth=minimal)
+    tables = OracleTables(
+        spec=spec,
+        forward=forward,
+        minimal_depth=minimal,
+        analytic_depth=analytic,
+    )
     stats = cache.stats() if cache is not None else None
     if stats is not None:
         emit(f"result {format_stats(stats)}")

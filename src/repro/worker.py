@@ -7,8 +7,10 @@ TCP port, answers the wire protocol of :mod:`repro.engine.distributed`
 ``shutdown``), and evaluates each chunk with the *same*
 :func:`repro.engine.runner.run_chunk` the serial and process backends
 use — reconstructing the chunk's spawned ``SeedSequence`` from the
-shipped ``(entropy, spawn_key)`` pair, so per-chunk hit counts are
-bit-identical to every other backend.
+shipped ``(entropy, spawn_key)`` pair, so per-chunk accumulators are
+bit-identical to every other backend.  A chunk reply carries the plain
+``(sum_w, sum_w2, trials)`` moment triple (clients also accept the v1
+bare hit count, so mixed-version clusters keep working).
 
 Usage::
 
@@ -50,8 +52,11 @@ def handle_request(request: dict) -> dict:
     ``chunk`` rebuilds the spawned seed as
     ``SeedSequence(entropy, spawn_key=spawn_key)`` — NumPy's documented
     spawn contract makes that child identical to the one the client
-    spawned, which is what keeps distributed hit counts bit-identical to
-    serial ones.
+    spawned, which is what keeps distributed accumulators bit-identical
+    to serial ones.  The reply's ``result`` is the chunk's plain
+    ``(sum_w, sum_w2, trials)`` triple — plain data rather than the
+    :class:`~repro.engine.runner.ChunkAccumulator` class so the frame
+    does not pin the client to this worker's class layout.
     """
     try:
         op = request.get("op") if isinstance(request, dict) else None
@@ -61,13 +66,13 @@ def handle_request(request: dict) -> dict:
             child = np.random.SeedSequence(
                 request["entropy"], spawn_key=tuple(request["spawn_key"])
             )
-            hits = run_chunk(
+            accumulator = run_chunk(
                 request["scenario"],
                 request["estimator"],
                 request["size"],
                 child,
             )
-            return {"ok": True, "result": hits}
+            return {"ok": True, "result": accumulator.as_triple()}
         if op == "task":
             result = request["function"](*request["args"])
             return {"ok": True, "result": result}

@@ -15,6 +15,7 @@ import pytest
 
 from repro.engine import (
     ArrayBackend,
+    ChunkAccumulator,
     ExperimentRunner,
     SerialBackend,
     get_scenario,
@@ -205,7 +206,7 @@ class TestParityContract:
             )
 
     def test_ulp_tolerance_bounds_the_drift(self):
-        count = run_chunk_array(
+        accumulator = run_chunk_array(
             self.scenario,
             _divergent_estimator,
             64,
@@ -213,7 +214,8 @@ class TestParityContract:
             TRACING,
             parity=1,
         )
-        assert isinstance(count, int)
+        assert isinstance(accumulator, ChunkAccumulator)
+        assert accumulator.trials == 64
         with pytest.raises(AssertionError, match="drifted"):
             run_chunk_array(
                 self.scenario,
@@ -225,7 +227,7 @@ class TestParityContract:
             )
 
     def test_parity_none_trusts_the_namespace(self):
-        count = run_chunk_array(
+        accumulator = run_chunk_array(
             self.scenario,
             _divergent_estimator,
             64,
@@ -236,4 +238,4 @@ class TestParityContract:
         reference = run_chunk_array(
             self.scenario, _divergent_estimator, 64, self.child, np
         )
-        assert count != reference  # the (injected) drift went unchecked
+        assert accumulator != reference  # the (injected) drift went unchecked

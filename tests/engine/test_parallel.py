@@ -138,7 +138,7 @@ class TestGuards:
             get_scenario("iid-settlement", depth=10),
             estimator=lambda scenario, batch: np.array([True]),
         )
-        with pytest.raises(ValueError, match="one boolean per trial"):
+        with pytest.raises(ValueError, match="one weight per trial"):
             runner.run(100, seed=3)
 
     def test_worker_count_validated(self):
@@ -195,17 +195,24 @@ class TestBackendProtocolCompliance:
         assert [f.result() for f in futures] == [divmod(n, 3) for n in range(5)]
 
     def test_submit_chunks_matches_run_chunk(self, backend):
+        from repro.engine import as_accumulator
+
         scenario = get_scenario("iid-settlement", depth=10)
         estimator = ExperimentRunner(scenario).estimator
         children = np.random.SeedSequence(5).spawn(3)
-        futures = backend.submit_chunks(
-            scenario, estimator, [256, 256, 128], children
-        )
+        sizes = [256, 256, 128]
+        futures = backend.submit_chunks(scenario, estimator, sizes, children)
         expected = [
             run_chunk(scenario, estimator, size, child)
-            for size, child in zip([256, 256, 128], children)
+            for size, child in zip(sizes, children)
         ]
-        assert [f.result() for f in futures] == expected
+        # The distributed wire carries the plain triple; every backend's
+        # reply must normalise to the same accumulator.
+        results = [
+            as_accumulator(future.result(), size)
+            for future, size in zip(futures, sizes)
+        ]
+        assert results == expected
 
     def test_submit_chunks_validates_pairing(self, backend):
         scenario = get_scenario("iid-settlement", depth=10)

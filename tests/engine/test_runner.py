@@ -49,7 +49,7 @@ class TestReproducibility:
             get_scenario("iid-settlement", depth=10),
             estimator=lambda scenario, batch: np.array([True]),
         )
-        with pytest.raises(ValueError, match="one boolean per trial"):
+        with pytest.raises(ValueError, match="one weight per trial"):
             runner.run(100, seed=3)
 
 

@@ -53,7 +53,11 @@ class TestRoundTrip:
         assert manifest["format"] == FORMAT
         assert manifest["fingerprint"] == spec_fingerprint(SPEC)
         assert manifest["spec"]["alphas"] == [0.1, 0.3]
-        assert set(manifest["arrays"]) == {"forward", "minimal_depth"}
+        assert set(manifest["arrays"]) == {
+            "forward",
+            "minimal_depth",
+            "analytic_depth",
+        }
 
 
 class TestFingerprint:

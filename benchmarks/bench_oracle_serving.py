@@ -1,0 +1,299 @@
+"""Over-the-wire SLO bench: the oracle HTTP server under concurrent load.
+
+``bench_oracle_throughput.py`` measures the oracle's *in-process* query
+paths; this module measures what a deployment actually gets: the stdlib
+``ThreadingHTTPServer`` answering real HTTP/1.1 requests on localhost,
+with concurrent persistent-connection clients on both query shapes:
+
+* **scalar** — ``GET /v1/violation?...`` one query per request, the
+  latency-sensitive interactive path;
+* **batch** — ``POST /v1/violation`` with columnar arrays, the
+  throughput path (one NumPy gather answers the whole body).
+
+The recorded ``serving`` SLOs (asserted here and by ``run_all.py``):
+
+* batch path sustains >= 50 000 queries/second *over the wire* on
+  localhost — the same floor the in-process path carries, i.e. HTTP
+  framing must not eat the batch advantage;
+* error rate is exactly 0 across every request of the run;
+* client-observed p50/p99 latencies are recorded for both shapes (no
+  floor — they document the artifact, the floors above gate it).
+
+The artifact is the tiny preset with the Monte-Carlo cross-check
+disabled (the bench exercises serving, not building) in a throwaway
+directory.  The server's own ``/metrics`` endpoint is scraped at the
+end and must have counted every request the clients sent — the
+telemetry pipeline is load-tested together with the data path.
+"""
+
+import dataclasses
+import json
+import pathlib
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.oracle import (  # noqa: E402
+    SettlementOracle,
+    TINY_SPEC,
+    build_tables,
+)
+from repro.oracle.server import make_server  # noqa: E402
+
+#: The serving artifact: tiny grid, no MC cross-check (pure DP build).
+SERVING_SPEC = dataclasses.replace(
+    TINY_SPEC, mc_trials=0, mc_depths=(), mc_target_se=0.0
+)
+
+QUERY_SEED = 20200707
+BATCH_HTTP_FLOOR = 50_000.0  # queries/s over localhost HTTP
+ERROR_RATE_MAX = 0.0
+
+
+def _percentile_ms(latencies: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a sorted latency sample, in ms."""
+    index = max(
+        0, min(len(latencies) - 1, round(fraction * (len(latencies) - 1)))
+    )
+    return round(1e3 * latencies[index], 3)
+
+
+def _in_hull_queries(spec, count: int, rng: np.random.Generator):
+    """Columnar random queries inside the table's conservative hull."""
+    return (
+        rng.uniform(spec.alphas[0], spec.alphas[-1], count),
+        rng.uniform(
+            spec.unique_fractions[0], spec.unique_fractions[-1], count
+        ),
+        rng.uniform(spec.deltas[0], spec.deltas[-1], count),
+        rng.uniform(spec.depths[0], spec.depths[-1], count),
+    )
+
+
+def _drive(address, clients: int, requester) -> dict:
+    """Fan ``requester(connection, client_index)`` across ``clients``
+    persistent connections; aggregate latencies and errors.
+
+    ``requester`` returns ``(latencies, errors)`` for its connection.
+    The wall clock covers barrier release to last client done — the
+    sustained-rate denominator, not per-client sums.
+    """
+    host, port = address
+    results: list[tuple[list[float], int]] = [None] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        connection = HTTPConnection(host, port, timeout=60)
+        try:
+            barrier.wait()
+            results[index] = requester(connection, index)
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+
+    latencies = sorted(
+        latency for sample, _ in results for latency in sample
+    )
+    errors = sum(errors for _, errors in results)
+    return {
+        "clients": clients,
+        "requests": len(latencies) + errors,
+        "seconds": round(wall, 4),
+        "p50_ms": _percentile_ms(latencies, 0.50),
+        "p99_ms": _percentile_ms(latencies, 0.99),
+        "errors": errors,
+        "_wall": wall,
+    }
+
+
+def serving_record(quick: bool) -> dict:
+    """Build, serve, and load-test the oracle; the ``serving`` record."""
+    import tempfile
+
+    clients = 2 if quick else 4
+    scalar_requests = 150 if quick else 500  # per client
+    batch_requests = 15 if quick else 40  # per client
+    batch_size = 1_000 if quick else 2_000  # queries per POST
+
+    with tempfile.TemporaryDirectory(prefix="repro-serving-") as directory:
+        build_tables(SERVING_SPEC, out_dir=directory)
+        oracle = SettlementOracle.load(directory)
+        server = make_server(oracle, port=0)
+        address = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            spec = oracle.spec
+            rng = np.random.default_rng(QUERY_SEED)
+
+            def scalar_requester(connection, index):
+                queries = _in_hull_queries(spec, scalar_requests, rng)
+                latencies, errors = [], 0
+                for alpha, fraction, delta, depth in zip(*queries):
+                    path = (
+                        f"/v1/violation?alpha={alpha}"
+                        f"&unique_fraction={fraction}"
+                        f"&delta={delta}&depth={depth}"
+                    )
+                    started = time.perf_counter()
+                    connection.request("GET", path)
+                    response = connection.getresponse()
+                    body = response.read()
+                    latencies.append(time.perf_counter() - started)
+                    if (
+                        response.status != 200
+                        or "violation_probability" not in json.loads(body)
+                    ):
+                        errors += 1
+                        latencies.pop()
+                return latencies, errors
+
+            def batch_requester(connection, index):
+                alphas, fractions, deltas, depths = _in_hull_queries(
+                    spec, batch_size, rng
+                )
+                payload = json.dumps(
+                    {
+                        "alpha": alphas.tolist(),
+                        "unique_fraction": fractions.tolist(),
+                        "delta": deltas.tolist(),
+                        "depth": depths.tolist(),
+                    }
+                ).encode()
+                headers = {"Content-Type": "application/json"}
+                latencies, errors = [], 0
+                for _ in range(batch_requests):
+                    started = time.perf_counter()
+                    connection.request(
+                        "POST", "/v1/violation", payload, headers
+                    )
+                    response = connection.getresponse()
+                    body = response.read()
+                    latencies.append(time.perf_counter() - started)
+                    if response.status != 200 or len(
+                        json.loads(body)["violation_probability"]
+                    ) != batch_size:
+                        errors += 1
+                        latencies.pop()
+                return latencies, errors
+
+            scalar = _drive(address, clients, scalar_requester)
+            batch = _drive(address, clients, batch_requester)
+
+            # The server's own telemetry must have counted the load.
+            probe = HTTPConnection(*address, timeout=60)
+            try:
+                probe.request("GET", "/metrics")
+                response = probe.getresponse()
+                exposition = response.read().decode()
+                metrics_ok = (
+                    response.status == 200
+                    and "repro_oracle_requests_total" in exposition
+                    and "repro_oracle_request_seconds_bucket" in exposition
+                )
+            finally:
+                probe.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    scalar["requests_per_second"] = round(
+        scalar["requests"] / scalar.pop("_wall"), 1
+    )
+    batch_queries = batch["requests"] * batch_size
+    batch["batch_size"] = batch_size
+    batch["queries"] = batch_queries
+    batch["queries_per_second"] = round(
+        batch_queries / batch.pop("_wall"), 1
+    )
+
+    total_requests = scalar["requests"] + batch["requests"]
+    total_errors = scalar["errors"] + batch["errors"]
+    record = {
+        "artifact_cells": int(oracle.tables.forward.size),
+        "quick": quick,
+        "scalar": scalar,
+        "batch": batch,
+        "error_rate": total_errors / total_requests,
+        "metrics_endpoint_counted_load": metrics_ok,
+        "slo": {
+            "batch_queries_per_second_floor": BATCH_HTTP_FLOOR,
+            "error_rate_max": ERROR_RATE_MAX,
+        },
+    }
+    record["slo"]["met"] = (
+        batch["queries_per_second"] >= BATCH_HTTP_FLOOR
+        and record["error_rate"] <= ERROR_RATE_MAX
+        and metrics_ok
+    )
+    return record
+
+
+def test_serving_meets_slo_floors():
+    """The pytest entry the full bench suite collects."""
+    record = serving_record(quick=True)
+    assert record["error_rate"] == 0.0, record
+    assert record["batch"]["queries_per_second"] >= BATCH_HTTP_FLOOR, record
+    assert record["metrics_endpoint_counted_load"], record
+    assert record["slo"]["met"]
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="merge the serving record into this JSON file",
+    )
+    args = parser.parse_args()
+
+    record = serving_record(args.quick)
+    out = pathlib.Path(args.out)
+    merged = json.loads(out.read_text()) if out.exists() else {}
+    merged["serving"] = record
+    out.write_text(json.dumps(merged, indent=2) + "\n")
+    print(
+        f"serving: scalar {record['scalar']['requests_per_second']} req/s "
+        f"(p50 {record['scalar']['p50_ms']}ms, "
+        f"p99 {record['scalar']['p99_ms']}ms), batch "
+        f"{record['batch']['queries_per_second']} queries/s "
+        f"(p50 {record['batch']['p50_ms']}ms, "
+        f"p99 {record['batch']['p99_ms']}ms), error rate "
+        f"{record['error_rate']}; record merged into {out}"
+    )
+    if not record["slo"]["met"]:
+        print(
+            "FAIL: serving SLO floors not met "
+            f"(batch {record['batch']['queries_per_second']} q/s vs "
+            f"{BATCH_HTTP_FLOOR} floor, error rate "
+            f"{record['error_rate']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

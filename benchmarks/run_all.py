@@ -1,6 +1,6 @@
 """Run the benchmark suite and record the engine performance baseline.
 
-Nine jobs:
+Ten jobs:
 
 1. measure scalar-vs-batched throughput of the Monte-Carlo estimators
    (the batched-engine acceptance point: >= 10x on
@@ -26,7 +26,13 @@ Nine jobs:
    and measure both query paths against recomputing the exact DP per
    query (floors: scalar >= 100x the DP, batch >= 50k queries/s) — the
    "oracle" record;
-6. run one fixed workload on every execution backend — serial, process,
+6. load-test the oracle's real HTTP server over localhost — concurrent
+   persistent-connection clients on the scalar GET and columnar-batch
+   POST paths — recording sustained request rates and client-observed
+   p50/p99 latency, with asserted SLO floors (batch >= 50k queries/s
+   *over the wire*, error rate exactly 0, /metrics accounted for the
+   load) — the "serving" record;
+7. run one fixed workload on every execution backend — serial, process,
    array-namespace, and distributed (two localhost repro.worker
    subprocesses) — assert the four estimates identical, and record
    per-backend chunk throughput, the distributed-over-process overhead
@@ -819,12 +825,15 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    from bench_oracle_serving import serving_record
+
     record = perf_record(args.quick)
     record["protocol"] = protocol_record(args.quick, args.workers)
     record["protocol_sweep"] = protocol_sweep_record(args.quick, args.workers)
     record["sweep"] = sweep_record(args.quick, args.workers)
     record["adaptive"] = adaptive_record(args.quick, args.workers)
     record["oracle"] = oracle_record(args.quick, args.workers)
+    record["serving"] = serving_record(args.quick)
     record["backend"] = backend_record(args.quick)
     record["wan"] = wan_record(args.quick)
     record["rare_event"] = rare_event_record(args.quick)
@@ -886,6 +895,16 @@ def main() -> int:
         f"{oracle['single_query_microseconds']}us "
         f"({oracle['per_query_speedup']}x over the DP), batch "
         f"{oracle['batch_queries_per_second']} queries/s"
+    )
+    serving = record["serving"]
+    print(
+        f"serving: scalar {serving['scalar']['requests_per_second']} req/s "
+        f"(p50 {serving['scalar']['p50_ms']}ms, "
+        f"p99 {serving['scalar']['p99_ms']}ms), batch "
+        f"{serving['batch']['queries_per_second']} queries/s over HTTP "
+        f"(p50 {serving['batch']['p50_ms']}ms, "
+        f"p99 {serving['batch']['p99_ms']}ms), error rate "
+        f"{serving['error_rate']}"
     )
     backend = record["backend"]
     throughput = ", ".join(
@@ -976,6 +995,26 @@ def main() -> int:
         print(
             "FAIL: oracle batch path below the 50k queries/s floor "
             f"({oracle['batch_queries_per_second']}/s)",
+            file=sys.stderr,
+        )
+        return 1
+    if serving["batch"]["queries_per_second"] < 50_000:
+        print(
+            "FAIL: oracle serving batch path below the 50k queries/s "
+            f"over-HTTP floor ({serving['batch']['queries_per_second']}/s)",
+            file=sys.stderr,
+        )
+        return 1
+    if serving["error_rate"] > 0:
+        print(
+            "FAIL: oracle serving returned errors under load "
+            f"(error rate {serving['error_rate']})",
+            file=sys.stderr,
+        )
+        return 1
+    if not serving["metrics_endpoint_counted_load"]:
+        print(
+            "FAIL: /metrics did not account for the serving load",
             file=sys.stderr,
         )
         return 1

@@ -52,6 +52,8 @@ backend never changes a result, only where it is computed.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.engine.array_api import to_namespace, to_numpy, use_namespace
@@ -61,6 +63,7 @@ from repro.engine.runner import (
     accumulate_weights,
 )
 from repro.engine.scenarios import Batch, Scenario
+from repro.obs import metrics
 
 __all__ = ["ArrayBackend", "run_chunk_array"]
 
@@ -186,19 +189,26 @@ class ArrayBackend:
         """Evaluate every chunk in the namespace; resolved futures."""
         if len(sizes) != len(children):
             raise ValueError("one SeedSequence child per chunk required")
-        return [
-            _ImmediateFuture(
-                run_chunk_array(
-                    scenario,
-                    estimator,
-                    size,
-                    child,
-                    self.namespace,
-                    self.parity,
-                )
+        instrumented = metrics.active() is not None
+        latency = (
+            metrics.histogram(
+                "repro_chunk_seconds",
+                "chunk evaluation latency by backend",
+                backend="array",
             )
-            for size, child in zip(sizes, children)
-        ]
+            if instrumented
+            else None
+        )
+        futures = []
+        for size, child in zip(sizes, children):
+            start = time.perf_counter() if instrumented else 0.0
+            result = run_chunk_array(
+                scenario, estimator, size, child, self.namespace, self.parity
+            )
+            if instrumented:
+                latency.observe(time.perf_counter() - start)
+            futures.append(_ImmediateFuture(result))
+        return futures
 
     def close(self) -> None:
         """Nothing to tear down (interface parity with the pool backends)."""

@@ -73,6 +73,7 @@ from repro.engine.runner import (
     as_accumulator,
 )
 from repro.engine.scenarios import Scenario
+from repro.obs import metrics
 
 __all__ = [
     "ResultCache",
@@ -241,8 +242,17 @@ class ResultCache:
         entry = self._load(self.path(key))
         if entry is None:
             self.misses += 1
+            metrics.counter(
+                "repro_cache_requests_total",
+                "estimate-level cache lookups by outcome",
+                kind="estimate",
+                result="miss",
+            ).inc()
             return None
         self.hits += 1
+        metrics.counter(
+            "repro_cache_requests_total", kind="estimate", result="hit"
+        ).inc()
         stored = entry["estimate"]
         return Estimate(
             value=stored["value"],
@@ -281,6 +291,11 @@ class ResultCache:
                 os.unlink(temp_name)
             raise
         self.stores += 1
+        metrics.counter(
+            "repro_cache_stores_total",
+            "cache writes by granularity",
+            kind="estimate",
+        ).inc()
         return path
 
     # -- chunk ledger --------------------------------------------------
@@ -305,6 +320,13 @@ class ResultCache:
         found = {i: stored[i] for i in wanted if i in stored}
         self.chunk_hits += len(found)
         self.chunk_misses += len(wanted) - len(found)
+        if metrics.active() is not None:
+            metrics.counter(
+                "repro_cache_requests_total", kind="chunk", result="hit"
+            ).inc(len(found))
+            metrics.counter(
+                "repro_cache_requests_total", kind="chunk", result="miss"
+            ).inc(len(wanted) - len(found))
         return found
 
     def put_chunks(
@@ -358,6 +380,10 @@ class ResultCache:
                 os.unlink(temp_name)
             raise
         self.chunk_stores += len(fresh)
+        if fresh:
+            metrics.counter(
+                "repro_cache_stores_total", kind="chunk"
+            ).inc(len(fresh))
         return path
 
     # -- statistics ----------------------------------------------------
@@ -447,6 +473,7 @@ class ResultCache:
         if not isinstance(chunks, dict):
             return {}
         validated: dict[int, ChunkAccumulator] = {}
+        migrated = 0
         for index, stored in chunks.items():
             if not isinstance(index, str) or not index.isdigit():
                 return {}
@@ -457,6 +484,7 @@ class ResultCache:
                 validated[int(index)] = ChunkAccumulator.from_hits(
                     stored, chunk_size
                 )
+                migrated += 1
                 continue
             if not isinstance(stored, list) or len(stored) != 3:
                 return {}
@@ -470,6 +498,11 @@ class ResultCache:
             validated[int(index)] = ChunkAccumulator(
                 float(sum_w), float(sum_w2), chunk_size
             )
+        if migrated:
+            metrics.counter(
+                "repro_cache_ledger_migrations_total",
+                "v1 ledger entries migrated to accumulator triples on read",
+            ).inc(migrated)
         return validated
 
     def __len__(self) -> int:

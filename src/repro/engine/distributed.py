@@ -59,11 +59,13 @@ hosts and networks you trust, exactly as you would a Dask or
 
 from __future__ import annotations
 
+import logging
 import pickle
 import queue
 import socket
 import struct
 import threading
+import time
 from concurrent.futures import Future
 from typing import Sequence
 
@@ -72,6 +74,9 @@ import numpy as np
 from repro.engine.cache import scenario_fingerprint
 from repro.engine.runner import Estimator
 from repro.engine.scenarios import Scenario
+from repro.obs import metrics
+
+logger = logging.getLogger("repro.engine.distributed")
 
 __all__ = [
     "DistributedBackend",
@@ -161,6 +166,11 @@ def chunk_message(
     }
 
 
+def _host_key(host: tuple[str, int]) -> str:
+    """The ``"host:port"`` form used for stats keys and log lines."""
+    return f"{host[0]}:{host[1]}"
+
+
 class _WorkItem:
     __slots__ = ("message", "future", "failures")
 
@@ -231,6 +241,10 @@ class DistributedBackend:
         self._lock = threading.Lock()
         self._alive = 0
         self._closed = threading.Event()
+        #: Latest stats frame piggybacked by each worker, keyed by
+        #: ``"host:port"`` — who served what, and for how long they have
+        #: been up.  v1 workers send no frame; their entry stays absent.
+        self.worker_stats: dict[str, dict] = {}
 
     @classmethod
     def from_spec(cls, spec: str, **kwargs) -> "DistributedBackend":
@@ -338,9 +352,21 @@ class DistributedBackend:
             while not self._closed.is_set():
                 sock = self._connect(host)
                 if sock is None:
+                    if not self._closed.is_set():
+                        metrics.counter(
+                            "repro_distributed_workers_lost_total",
+                            "worker hosts retired after reconnect backoff",
+                        ).inc()
+                        logger.warning(
+                            "worker %s unreachable after %d attempts; "
+                            "retiring (last stats: %s)",
+                            _host_key(host),
+                            self.reconnect_attempts,
+                            self.worker_stats.get(_host_key(host)),
+                        )
                     return  # backoff exhausted: retire this worker.
                 try:
-                    self._pump(sock)
+                    self._pump(sock, host)
                 finally:
                     sock.close()
         finally:
@@ -363,32 +389,82 @@ class DistributedBackend:
             try:
                 sock = socket.create_connection(host, timeout=self.timeout)
                 sock.settimeout(self.timeout)
+                if attempt:
+                    metrics.counter(
+                        "repro_distributed_reconnects_total",
+                        "successful reconnects after a transport failure",
+                    ).inc()
                 return sock
             except OSError:
+                metrics.counter(
+                    "repro_distributed_connect_failures_total",
+                    "failed connection attempts to worker hosts",
+                ).inc()
                 if attempt + 1 == self.reconnect_attempts:
                     return None
                 self._closed.wait(delay)
                 delay = min(delay * 2, self.backoff_cap)
         return None
 
-    def _pump(self, sock: socket.socket) -> None:
+    def _absorb_stats(self, host_key: str, reply: dict) -> None:
+        """Merge a worker's piggybacked stats frame into client state."""
+        stats = reply.get("stats")
+        if not isinstance(stats, dict):
+            return  # v1 worker: no frame on the wire.
+        self.worker_stats[host_key] = stats
+        registry = metrics.active()
+        if registry is None:
+            return
+        worker = str(stats.get("worker", host_key))
+        registry.gauge(
+            "repro_worker_uptime_seconds",
+            "monotonic uptime reported by each worker",
+            worker=worker,
+        ).set(float(stats.get("uptime", 0.0)))
+        served = stats.get("served", {})
+        if isinstance(served, dict):
+            for op, count in served.items():
+                registry.gauge(
+                    "repro_worker_served_requests",
+                    "requests served per worker, by op (worker-reported)",
+                    worker=worker,
+                    op=str(op),
+                ).set(float(count))
+        registry.gauge(
+            "repro_worker_errors",
+            "failed requests per worker (worker-reported)",
+            worker=worker,
+        ).set(float(stats.get("errors", 0)))
+
+    def _pump(self, sock: socket.socket, host: tuple[str, int]) -> None:
         """Drive one connection until it breaks or the backend closes."""
+        host_key = _host_key(host)
         while not self._closed.is_set():
             try:
                 item = self._queue.get(timeout=0.1)
             except queue.Empty:
                 continue
+            op = str(item.message.get("op", "unknown"))
+            started = time.perf_counter()
             try:
                 send_message(sock, item.message)
                 reply = recv_message(sock)
             except (OSError, ProtocolError, pickle.PickleError) as error:
-                self._requeue(item, error)
+                self._requeue(item, error, host_key)
                 return  # transport is suspect: reconnect.
+            metrics.histogram(
+                "repro_rpc_seconds",
+                "round-trip latency of worker RPCs, by op",
+                op=op,
+            ).observe(time.perf_counter() - started)
             if not isinstance(reply, dict) or "ok" not in reply:
                 self._requeue(
-                    item, ProtocolError(f"malformed worker reply: {reply!r}")
+                    item,
+                    ProtocolError(f"malformed worker reply: {reply!r}"),
+                    host_key,
                 )
                 return
+            self._absorb_stats(host_key, reply)
             if reply["ok"]:
                 item.future.set_result(reply["result"])
             else:
@@ -396,7 +472,24 @@ class DistributedBackend:
                 # so surface it instead of re-executing elsewhere.
                 item.future.set_exception(RemoteTaskError(reply["error"]))
 
-    def _requeue(self, item: _WorkItem, error: Exception) -> None:
+    def _requeue(
+        self, item: _WorkItem, error: Exception, host_key: str | None = None
+    ) -> None:
+        metrics.counter(
+            "repro_distributed_requeues_total",
+            "work items re-delivered after a transport failure",
+        ).inc()
+        if host_key is not None:
+            stats = self.worker_stats.get(host_key)
+            logger.warning(
+                "requeueing %s item after transport failure on %s "
+                "(worker %s, uptime %.1fs at last frame): %r",
+                item.message.get("op", "unknown"),
+                host_key,
+                stats.get("worker", "unknown") if stats else "unknown",
+                float(stats.get("uptime", 0.0)) if stats else 0.0,
+                error,
+            )
         item.failures += 1
         if item.failures >= self.max_failures:
             item.future.set_exception(

@@ -32,6 +32,7 @@ the backend can be driven directly and shared across many runs::
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Protocol, runtime_checkable
 
@@ -39,6 +40,7 @@ import numpy as np
 
 from repro.engine.runner import Estimator, run_chunk
 from repro.engine.scenarios import Scenario
+from repro.obs import metrics
 
 __all__ = [
     "BACKEND_NAMES",
@@ -188,10 +190,23 @@ class SerialBackend:
         """Evaluate every chunk now; resolved futures in chunk order."""
         if len(sizes) != len(children):
             raise ValueError("one SeedSequence child per chunk required")
-        return [
-            _ImmediateFuture(run_chunk(scenario, estimator, size, child))
-            for size, child in zip(sizes, children)
-        ]
+        if metrics.active() is None:
+            return [
+                _ImmediateFuture(run_chunk(scenario, estimator, size, child))
+                for size, child in zip(sizes, children)
+            ]
+        latency = metrics.histogram(
+            "repro_chunk_seconds",
+            "chunk evaluation latency by backend",
+            backend="serial",
+        )
+        futures = []
+        for size, child in zip(sizes, children):
+            start = time.perf_counter()
+            result = run_chunk(scenario, estimator, size, child)
+            latency.observe(time.perf_counter() - start)
+            futures.append(_ImmediateFuture(result))
+        return futures
 
     def close(self) -> None:
         """Nothing to tear down (uniform ``make_backend`` lifecycle)."""
@@ -260,10 +275,26 @@ class ProcessBackend:
         if not sizes:
             return []
         pool = self._pool()
-        return [
+        futures = [
             pool.submit(run_chunk, scenario, estimator, size, child)
             for size, child in zip(sizes, children)
         ]
+        if metrics.active() is not None:
+            # Latency includes queue wait (submit -> completion): that is
+            # the number an operator watching pool saturation wants.  The
+            # callback fires in this process, so the observation lands in
+            # the caller's registry, not a worker's.
+            latency = metrics.histogram(
+                "repro_chunk_seconds", backend="process"
+            )
+            submitted = time.perf_counter()
+            for future in futures:
+                future.add_done_callback(
+                    lambda _f, _t0=submitted: latency.observe(
+                        time.perf_counter() - _t0
+                    )
+                )
+        return futures
 
     def map_chunks(
         self,

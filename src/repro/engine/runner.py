@@ -78,6 +78,8 @@ import numpy as np
 
 from repro.engine import kernels
 from repro.engine.scenarios import Batch, Scenario
+from repro.obs import metrics
+from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.cache import ResultCache
@@ -431,15 +433,41 @@ def run_chunk(
     so the result is independent of where and in which order the chunk
     executes.
     """
-    generator = np.random.default_rng(seed_sequence)
-    batch = scenario.sample_batch(size, generator)
-    weights = np.asarray(estimator(scenario, batch))
-    return accumulate_weights(weights, size)
+    with span("runner.chunk", size=size, scenario=scenario.name):
+        generator = np.random.default_rng(seed_sequence)
+        batch = scenario.sample_batch(size, generator)
+        weights = np.asarray(estimator(scenario, batch))
+        return accumulate_weights(weights, size)
 
 
 # ----------------------------------------------------------------------
 # The runner
 # ----------------------------------------------------------------------
+
+
+def _record_report(report: "RunReport") -> None:
+    """Mirror one resolved run's :class:`RunReport` into the metrics
+    registry (no-op while metrics are disabled).  Write-only telemetry:
+    nothing here feeds back into estimates, keys, or ledgers."""
+    if metrics.active() is None:
+        return
+    metrics.counter(
+        "repro_runner_trials_total", "trials by origin", source="sampled"
+    ).inc(report.sampled_trials)
+    metrics.counter(
+        "repro_runner_trials_total", source="ledger"
+    ).inc(report.reused_trials)
+    metrics.counter(
+        "repro_runner_chunks_total", "chunks by origin", source="sampled"
+    ).inc(report.sampled_chunks)
+    metrics.counter(
+        "repro_runner_chunks_total", source="ledger"
+    ).inc(report.reused_chunks)
+    metrics.counter(
+        "repro_runner_runs_total",
+        "resolved runs by whole-run cache outcome",
+        cache="hit" if report.from_cache else "miss",
+    ).inc()
 
 
 @dataclass(frozen=True)
@@ -508,14 +536,20 @@ class PendingEstimate:
             return self._resolved
         total = self.reused or ChunkAccumulator.zero()
         new_chunks: dict[int, ChunkAccumulator] = {}
-        for index, future in zip(self.submitted, self.futures):
-            chunk = as_accumulator(
-                future.result(), self._chunk_trials(index)
-            )
-            total += chunk
-            if index < self.full_chunks:
-                new_chunks[index] = chunk
-        estimate = estimate_from_moments(total)
+        with span(
+            "runner.run",
+            scenario=self.runner.scenario.name,
+            trials=self.trials,
+            submitted=len(self.submitted),
+        ):
+            for index, future in zip(self.submitted, self.futures):
+                chunk = as_accumulator(
+                    future.result(), self._chunk_trials(index)
+                )
+                total += chunk
+                if index < self.full_chunks:
+                    new_chunks[index] = chunk
+            estimate = estimate_from_moments(total)
         if self.ledger_key is not None and new_chunks:
             self.runner.cache.put_chunks(self.ledger_key, new_chunks)
         if self.key is not None:
@@ -530,6 +564,7 @@ class PendingEstimate:
             waves=1,
             from_cache=sampled == 0,
         )
+        _record_report(self.report)
         self.runner.last_report = self.report
         self._resolved = estimate
         self.futures = []
@@ -667,6 +702,7 @@ class ExperimentRunner:
                     waves=0,
                     from_cache=True,
                 )
+                _record_report(report)
                 return PendingEstimate(
                     self,
                     trials,
@@ -827,32 +863,42 @@ class ExperimentRunner:
                     max(chunks_done + 1, min(2 * chunks_done, projected)),
                 )
             wave = range(chunks_done, goal)
-            children = np.random.SeedSequence(seed).spawn(goal)
-            reused: dict[int, ChunkAccumulator] = {}
-            if ledger_key is not None:
-                reused = self.cache.get_chunks(ledger_key, wave)
-            to_sample = [index for index in wave if index not in reused]
-            futures = backend.submit_chunks(
-                self.scenario,
-                self.estimator,
-                [self.chunk_size] * len(to_sample),
-                [children[index] for index in to_sample],
-            )
-            fresh = {
-                index: as_accumulator(future.result(), self.chunk_size)
-                for index, future in zip(to_sample, futures)
-            }
-            if ledger_key is not None and fresh:
-                self.cache.put_chunks(ledger_key, fresh)
-            total += sum(reused.values(), ChunkAccumulator.zero())
-            total += sum(fresh.values(), ChunkAccumulator.zero())
-            reused_trials += len(reused) * self.chunk_size
-            sampled_trials += len(fresh) * self.chunk_size
-            reused_chunks += len(reused)
-            sampled_chunks += len(fresh)
-            chunks_done = goal
-            waves += 1
-            estimate = estimate_from_moments(total)
+            with span(
+                "runner.wave",
+                scenario=self.scenario.name,
+                wave=waves,
+                chunks=len(wave),
+            ):
+                children = np.random.SeedSequence(seed).spawn(goal)
+                reused: dict[int, ChunkAccumulator] = {}
+                if ledger_key is not None:
+                    reused = self.cache.get_chunks(ledger_key, wave)
+                to_sample = [index for index in wave if index not in reused]
+                futures = backend.submit_chunks(
+                    self.scenario,
+                    self.estimator,
+                    [self.chunk_size] * len(to_sample),
+                    [children[index] for index in to_sample],
+                )
+                fresh = {
+                    index: as_accumulator(future.result(), self.chunk_size)
+                    for index, future in zip(to_sample, futures)
+                }
+                if ledger_key is not None and fresh:
+                    self.cache.put_chunks(ledger_key, fresh)
+                total += sum(reused.values(), ChunkAccumulator.zero())
+                total += sum(fresh.values(), ChunkAccumulator.zero())
+                reused_trials += len(reused) * self.chunk_size
+                sampled_trials += len(fresh) * self.chunk_size
+                reused_chunks += len(reused)
+                sampled_chunks += len(fresh)
+                chunks_done = goal
+                waves += 1
+                estimate = estimate_from_moments(total)
+            metrics.gauge(
+                "repro_runner_standard_error",
+                "SE trajectory of the current adaptive run",
+            ).set(estimate.standard_error)
             if met(estimate):
                 break
         else:
@@ -892,6 +938,7 @@ class ExperimentRunner:
             waves=waves,
             from_cache=sampled_trials == 0,
         )
+        _record_report(self.last_report)
         return estimate
 
     def _run_streaming(

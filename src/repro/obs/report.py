@@ -1,0 +1,149 @@
+"""Trace summarizer: ``python -m repro.obs.report trace.jsonl``.
+
+Reads the JSONL span events written by :mod:`repro.obs.trace` and
+prints two views:
+
+* a **per-span table** — count, total seconds, mean, p50, p99, max for
+  every span name, sorted by total time (where the run went);
+* a **nesting dump** (``--tree``, also printed by default) — spans
+  aggregated by their full call path (``runner.run > runner.chunk``),
+  indented flamegraph-style with counts and totals, so nested hot
+  spots are visible without any external tooling.
+
+Percentiles are computed over the raw per-span durations (nearest-rank
+on the sorted sample), not from bucketed approximations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+__all__ = ["load_events", "main", "render_table", "render_tree"]
+
+
+def load_events(path: str) -> list[dict]:
+    """Parse one trace file; malformed lines are skipped, not fatal —
+    a crashed run may leave a torn final line."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict) and "name" in event:
+                events.append(event)
+    return events
+
+
+def _percentile(durations: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a *sorted* non-empty sample."""
+    index = max(0, min(len(durations) - 1,
+                       round(fraction * (len(durations) - 1))))
+    return durations[index]
+
+
+def render_table(events: list[dict]) -> str:
+    """The per-span-name count/total/p50/p99 table."""
+    samples: dict[str, list[float]] = defaultdict(list)
+    for event in events:
+        samples[event["name"]].append(float(event.get("duration", 0.0)))
+    headers = ["span", "count", "total_s", "mean_ms", "p50_ms", "p99_ms",
+               "max_ms"]
+    rows = []
+    for name, durations in sorted(
+        samples.items(), key=lambda item: -sum(item[1])
+    ):
+        durations.sort()
+        total = sum(durations)
+        rows.append([
+            name,
+            str(len(durations)),
+            f"{total:.4f}",
+            f"{1e3 * total / len(durations):.3f}",
+            f"{1e3 * _percentile(durations, 0.50):.3f}",
+            f"{1e3 * _percentile(durations, 0.99):.3f}",
+            f"{1e3 * durations[-1]:.3f}",
+        ])
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells):
+        first = cells[0].ljust(widths[0])
+        rest = (cell.rjust(width)
+                for cell, width in zip(cells[1:], widths[1:]))
+        return "  ".join([first, *rest])
+
+    ruler = "  ".join("-" * width for width in widths)
+    return "\n".join([fmt(headers), ruler, *(fmt(row) for row in rows)])
+
+
+def render_tree(events: list[dict]) -> str:
+    """The flamegraph-style nesting dump, aggregated by call path."""
+    by_id = {event["id"]: event for event in events if "id" in event}
+
+    def path_of(event: dict) -> tuple[str, ...]:
+        names: list[str] = []
+        cursor: dict | None = event
+        while cursor is not None:
+            names.append(cursor["name"])
+            parent = cursor.get("parent")
+            cursor = by_id.get(parent) if parent is not None else None
+        return tuple(reversed(names))
+
+    totals: dict[tuple[str, ...], list[float]] = defaultdict(
+        lambda: [0, 0.0]
+    )
+    for event in events:
+        aggregate = totals[path_of(event)]
+        aggregate[0] += 1
+        aggregate[1] += float(event.get("duration", 0.0))
+    lines = []
+    for path in sorted(totals):
+        count, total = totals[path]
+        indent = "  " * (len(path) - 1)
+        lines.append(
+            f"{indent}{path[-1]}  x{count}  {total:.4f}s"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="summarise a repro.obs.trace JSONL file",
+    )
+    parser.add_argument("trace", help="path to the trace JSONL file")
+    parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="print only the nesting dump (default prints table + tree)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print("no spans recorded")
+        return 0
+    if not args.tree:
+        print(render_table(events))
+        print()
+    print(render_tree(events))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

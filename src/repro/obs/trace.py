@@ -1,0 +1,167 @@
+"""Lightweight span tracing: JSONL events with monotonic timestamps.
+
+One API: ``with span("runner.wave", wave=3, chunks=8):`` — the block's
+wall time, its position in the thread's span stack, and the keyword
+attributes are written as one JSON line when the block exits.  Tracing
+is off by default: ``span`` then yields immediately (one global read,
+no allocation).  :func:`enable_tracing` points the sink at a file;
+:func:`disable_tracing` closes it.
+
+Event schema (one object per line, written on span *exit*)::
+
+    {"name": "runner.wave",       # the span name
+     "id": 7, "parent": 3,        # ids are per-sink, parent null at root
+     "depth": 1,                  # nesting depth in this thread
+     "start": 1.234567,           # monotonic seconds since enable_tracing
+     "duration": 0.0123,          # monotonic seconds in the block
+     "thread": "MainThread",
+     "error": "ValueError",       # only when the block raised
+     "attrs": {"wave": 3, "chunks": 8}}
+
+Timestamps come from ``time.monotonic()`` (never the wall clock, so
+spans order correctly under clock steps) and are rebased to the
+``enable_tracing`` call so traces start near zero.  Attribute values
+must be JSON-serialisable; anything else is stringified rather than
+refused — a trace line must never break the traced run.
+
+Process discipline: the sink records the PID that enabled it and
+``span`` no-ops in any other process, so forked pool workers inherit a
+configured sink without ever interleaving writes into the parent's
+file.  (Chunk spans therefore appear under the serial backend and
+disappear under process fan-out — the orchestration spans, which is
+what the report summarises, are always emitted by the parent.)
+
+The telemetry contract: tracing consumes zero RNG and no trace state
+feeds estimates, cache keys, or ledgers — see
+``tests/obs/test_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "disable_tracing",
+    "enable_tracing",
+    "is_tracing",
+    "span",
+    "tracing_to",
+]
+
+
+class _TraceSink:
+    """An open JSONL trace file plus the id/stack bookkeeping."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._epoch = time.monotonic()
+        self.pid = os.getpid()
+        self._stacks = threading.local()
+
+    def stack(self) -> list[int]:
+        stack = getattr(self._stacks, "spans", None)
+        if stack is None:
+            stack = self._stacks.spans = []
+        return stack
+
+    def allocate_id(self) -> int:
+        with self._lock:
+            identifier = self._next_id
+            self._next_id += 1
+            return identifier
+
+    def rebase(self, monotonic: float) -> float:
+        return monotonic - self._epoch
+
+    def write(self, event: dict) -> None:
+        line = json.dumps(event, default=str, separators=(",", ":"))
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.flush()
+            self._handle.close()
+
+
+_SINK: _TraceSink | None = None
+
+
+def enable_tracing(path: str | os.PathLike) -> None:
+    """Start appending span events to ``path`` (JSONL, created if
+    missing).  Replaces any previously enabled sink."""
+    global _SINK
+    if _SINK is not None:
+        _SINK.close()
+    _SINK = _TraceSink(path)
+
+
+def disable_tracing() -> None:
+    """Flush and close the sink; ``span`` becomes a no-op again."""
+    global _SINK
+    if _SINK is not None:
+        _SINK.close()
+        _SINK = None
+
+
+def is_tracing() -> bool:
+    """Is a sink installed *in this process*?"""
+    return _SINK is not None and _SINK.pid == os.getpid()
+
+
+@contextlib.contextmanager
+def tracing_to(path: str | os.PathLike):
+    """Trace a ``with`` block to ``path``, then restore the prior sink."""
+    previous = _SINK
+    enable_tracing(path)
+    try:
+        yield
+    finally:
+        disable_tracing()
+        if previous is not None:
+            enable_tracing(previous.path)
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs):
+    """Time a block as one named span (a no-op unless tracing is on)."""
+    sink = _SINK
+    if sink is None or sink.pid != os.getpid():
+        yield
+        return
+    stack = sink.stack()
+    identifier = sink.allocate_id()
+    parent = stack[-1] if stack else None
+    depth = len(stack)
+    stack.append(identifier)
+    start = time.monotonic()
+    error = None
+    try:
+        yield
+    except BaseException as raised:
+        error = type(raised).__name__
+        raise
+    finally:
+        duration = time.monotonic() - start
+        stack.pop()
+        event = {
+            "name": name,
+            "id": identifier,
+            "parent": parent,
+            "depth": depth,
+            "start": round(sink.rebase(start), 9),
+            "duration": round(duration, 9),
+            "thread": threading.current_thread().name,
+        }
+        if error is not None:
+            event["error"] = error
+        if attrs:
+            event["attrs"] = attrs
+        sink.write(event)

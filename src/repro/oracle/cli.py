@@ -25,6 +25,8 @@ import sys
 
 from repro.engine.cache import ResultCache, cache_from_env
 from repro.engine.parallel import BACKEND_NAMES, make_backend
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import disable_tracing, enable_tracing
 from repro.oracle.server import serve_forever
 from repro.oracle.service import SettlementOracle
 from repro.oracle.store import StoreError
@@ -80,6 +82,9 @@ def _cmd_build(args) -> int:
     backend = None
     if args.backend is not None:
         backend = make_backend(args.backend, args.workers, args.hosts)
+    registry = obs_metrics.enable() if args.metrics else None
+    if args.trace:
+        enable_tracing(args.trace)
     try:
         report = build_tables(
             spec,
@@ -93,6 +98,10 @@ def _cmd_build(args) -> int:
     finally:
         if backend is not None:
             backend.close()
+        if args.trace:
+            disable_tracing()
+        if registry is not None:
+            obs_metrics.disable()
     action = "built" if report.rebuilt else "reused (no-op rebuild)"
     print(
         f"{action} {report.tables.forward.size} forward cells + "
@@ -104,6 +113,14 @@ def _cmd_build(args) -> int:
             else ""
         )
     )
+    if args.trace:
+        print(
+            f"trace written to {args.trace} "
+            f"(summarize: python -m repro.obs.report {args.trace})"
+        )
+    if registry is not None:
+        print("-- metrics --")
+        print(registry.render(), end="")
     return 0
 
 
@@ -230,6 +247,23 @@ def main(argv: list[str] | None = None) -> int:
         "--force",
         action="store_true",
         help="rebuild even when the artifact already matches the spec",
+    )
+    build.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write JSONL span events for the build to FILE (summarize "
+            "with python -m repro.obs.report FILE)"
+        ),
+    )
+    build.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "collect engine metrics during the build and print the "
+            "Prometheus text exposition afterwards"
+        ),
     )
     build.set_defaults(run=_cmd_build)
 

@@ -9,6 +9,8 @@ Endpoints::
 
     GET  /healthz                        -> artifact summary (fingerprint,
                                             axes, cell count)
+    GET  /metrics                        -> Prometheus text exposition of
+                                            the server's request metrics
     GET  /v1/violation?alpha=&unique_fraction=&delta=&depth=
                                          -> {"violation_probability": p,
                                              "conservative": true}
@@ -33,17 +35,34 @@ finite conservative answer where older servers said ``null``).
 
 Batch POST bodies are *columnar* (one array per coordinate) so the
 handler can feed them to the vectorized oracle methods unchanged — one
-NumPy gather answers the whole batch.  Out-of-hull queries return
-HTTP 400 with the oracle's conservative-hull message; clients that
-prefer saturation can pass ``"strict": false`` in the POST body.
+NumPy gather answers the whole batch.
+
+Error contract: every non-200 body is ``{"error": <kind>, "detail":
+<message>}`` with kinds ``bad-request`` (malformed JSON, missing or
+non-numeric parameters), ``out-of-domain`` (a well-formed query outside
+the conservative hull — clients that prefer saturation can pass
+``"strict": false`` in a POST body), ``not-found``, and ``internal``
+(genuine server bugs, HTTP 500).  All of them are counted in
+``repro_oracle_errors_total{code=...}``.
+
+Telemetry: the server owns a :class:`repro.obs.metrics.MetricsRegistry`
+(pass ``registry=`` to share one), independent of the module-level
+engine switchboard — ``GET /metrics`` works even when engine metrics
+are disabled.  Per-request it counts
+``repro_oracle_requests_total{route,method,code}``, observes
+``repro_oracle_request_seconds{route}``, and, when not ``quiet``,
+writes one structured JSON access-log line per request to stderr.
 """
 
 from __future__ import annotations
 
 import json
+import sys
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.metrics import MetricsRegistry
 from repro.oracle.service import OracleDomainError, SettlementOracle
 
 __all__ = ["make_server", "serve_forever"]
@@ -52,6 +71,10 @@ _SINGLE_PARAMS = {
     "/v1/violation": ("alpha", "unique_fraction", "delta", "depth"),
     "/v1/depth": ("alpha", "unique_fraction", "delta", "target"),
 }
+
+#: Paths that may appear as a ``route`` label; anything else is folded
+#: into ``"other"`` so scanners cannot inflate label cardinality.
+_ROUTES = frozenset(_SINGLE_PARAMS) | {"/healthz", "/metrics"}
 
 
 def _single_answer(
@@ -106,52 +129,135 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    registry: MetricsRegistry | None = None,
 ) -> ThreadingHTTPServer:
     """Build (and bind, but do not start) the query server.
 
     ``port=0`` binds an ephemeral port; read the actual one from
     ``server.server_address[1]``.  ``quiet`` silences the per-request
-    stderr log lines (the default for tests and embedded use).
+    stderr access-log lines (the default for tests and embedded use).
+    ``registry`` shares a metrics registry with the caller; by default
+    the server creates its own (exposed as ``server.registry``).
     """
 
     health = {"status": "ok", **oracle.describe()}
+    if registry is None:
+        registry = MetricsRegistry()
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
+        # Headers and body flush as separate TCP segments; without
+        # TCP_NODELAY, Nagle + delayed ACK adds ~40ms to every
+        # keep-alive response on Linux.
+        disable_nagle_algorithm = True
 
-        def _reply(self, code: int, payload: dict) -> None:
-            body = json.dumps(payload).encode()
+        def send_response(self, code: int, message: str | None = None) -> None:
+            self._status = code
+            super().send_response(code, message)
+
+        def _reply(
+            self,
+            code: int,
+            payload,
+            content_type: str = "application/json",
+        ) -> None:
+            body = (
+                payload
+                if isinstance(payload, bytes)
+                else json.dumps(payload).encode()
+            )
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
 
+        def _error(self, code: int, kind: str, detail: str) -> None:
+            self._reply(code, {"error": kind, "detail": detail})
+
         def _guarded(self, answer) -> None:
             try:
                 self._reply(200, answer())
-            except (OracleDomainError, ValueError) as error:
-                self._reply(400, {"error": str(error)})
+            except OracleDomainError as error:
+                self._error(400, "out-of-domain", str(error))
+            except ValueError as error:
+                self._error(400, "bad-request", str(error))
             except Exception as error:  # never kill the thread
-                self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+                self._error(
+                    500, "internal", f"{type(error).__name__}: {error}"
+                )
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            split = urlsplit(self.path)
-            if split.path == "/healthz":
-                self._reply(200, health)
-                return
-            if split.path in _SINGLE_PARAMS:
-                params = parse_qs(split.query)
-                self._guarded(
-                    lambda: _single_answer(oracle, split.path, params)
-                )
-                return
-            self._reply(404, {"error": f"unknown path {split.path!r}"})
+            self._serve("GET")
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            self._serve("POST")
+
+        def _serve(self, method: str) -> None:
             split = urlsplit(self.path)
+            route = split.path if split.path in _ROUTES else "other"
+            self._status = 500  # replaced by the first send_response
+            started = time.perf_counter()
+            try:
+                self._dispatch(method, split)
+            finally:
+                elapsed = time.perf_counter() - started
+                code = str(self._status)
+                registry.counter(
+                    "repro_oracle_requests_total",
+                    "requests served, by route/method/status",
+                    route=route,
+                    method=method,
+                    code=code,
+                ).inc()
+                registry.histogram(
+                    "repro_oracle_request_seconds",
+                    "request handling latency by route",
+                    route=route,
+                ).observe(elapsed)
+                if self._status >= 400:
+                    registry.counter(
+                        "repro_oracle_errors_total",
+                        "error responses, by status code",
+                        code=code,
+                    ).inc()
+                if not quiet:
+                    print(
+                        json.dumps(
+                            {
+                                "client": self.client_address[0],
+                                "method": method,
+                                "path": split.path,
+                                "code": self._status,
+                                "duration_ms": round(elapsed * 1000, 3),
+                            }
+                        ),
+                        file=sys.stderr,
+                        flush=True,
+                    )
+
+        def _dispatch(self, method: str, split) -> None:
+            if method == "GET":
+                if split.path == "/healthz":
+                    self._reply(200, health)
+                    return
+                if split.path == "/metrics":
+                    self._reply(
+                        200,
+                        registry.render().encode(),
+                        content_type="text/plain; version=0.0.4",
+                    )
+                    return
+                if split.path in _SINGLE_PARAMS:
+                    params = parse_qs(split.query)
+                    self._guarded(
+                        lambda: _single_answer(oracle, split.path, params)
+                    )
+                    return
+                self._error(404, "not-found", f"unknown path {split.path!r}")
+                return
             if split.path not in _SINGLE_PARAMS:
-                self._reply(404, {"error": f"unknown path {split.path!r}"})
+                self._error(404, "not-found", f"unknown path {split.path!r}")
                 return
             try:
                 length = int(self.headers.get("Content-Length", "0"))
@@ -159,15 +265,16 @@ def make_server(
                 if not isinstance(body, dict):
                     raise ValueError("batch body must be a JSON object")
             except (ValueError, json.JSONDecodeError) as error:
-                self._reply(400, {"error": f"bad request body: {error}"})
+                self._error(400, "bad-request", f"bad request body: {error}")
                 return
             self._guarded(lambda: _batch_answer(oracle, split.path, body))
 
         def log_message(self, format, *args):  # noqa: A002
-            if not quiet:
-                BaseHTTPRequestHandler.log_message(self, format, *args)
+            pass  # replaced by the structured access log in _serve.
 
-    return ThreadingHTTPServer((host, port), Handler)
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.registry = registry
+    return server
 
 
 def serve_forever(

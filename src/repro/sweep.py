@@ -58,6 +58,8 @@ import time
 from repro.engine.cache import ResultCache, cache_from_env, format_stats
 from repro.engine.parallel import BACKEND_NAMES, make_backend
 from repro.engine.sweeps import SweepGrid, get_grid, grid_names, run_grid
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import disable_tracing, enable_tracing
 
 __all__ = ["main", "format_table", "parse_only"]
 
@@ -261,6 +263,24 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the tidy rows as JSON to this path",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write JSONL span events to FILE (summarize with "
+            "python -m repro.obs.report FILE); telemetry never touches "
+            "the RNG, so traced runs stay bit-identical"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "collect engine metrics during the run and print the "
+            "Prometheus text exposition after the summary"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -329,6 +349,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
 
+    registry = obs_metrics.enable() if args.metrics else None
+    if args.trace:
+        enable_tracing(args.trace)
+
     start = time.perf_counter()
     try:
         rows = run_grid(
@@ -346,6 +370,10 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if backend is not None:
             backend.close()
+        if args.trace:
+            disable_tracing()
+        if registry is not None:
+            obs_metrics.disable()
     elapsed = time.perf_counter() - start
 
     print(format_table(grid.axis_names, rows))
@@ -364,6 +392,14 @@ def main(argv: list[str] | None = None) -> int:
     print(summary)
     if cache is not None:
         print(format_stats(cache.stats()))
+    if args.trace:
+        print(
+            f"trace written to {args.trace} "
+            f"(summarize: python -m repro.obs.report {args.trace})"
+        )
+    if registry is not None:
+        print("-- metrics --")
+        print(registry.render(), end="")
 
     if args.out:
         with open(args.out, "w") as handle:

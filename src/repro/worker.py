@@ -32,10 +32,14 @@ bind to loopback or a trusted private network only.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import signal
+import socket
 import socketserver
 import sys
 import threading
+import time
 import traceback
 
 import numpy as np
@@ -93,11 +97,18 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             if request is None:
                 return  # clean end-of-stream.
             reply = handle_request(request)
+            op = request.get("op") if isinstance(request, dict) else None
+            self.server.record(op, reply.get("ok", False))
+            # Piggyback the stats frame on every reply so the client can
+            # attribute each chunk to the worker that served it (and log
+            # the provenance when a later requeue fires).  handle_request
+            # itself stays pure — tests drive it directly.
+            reply = {**reply, "stats": self.server.stats_frame()}
             try:
                 send_message(self.request, reply)
             except OSError:
                 return
-            if isinstance(request, dict) and request.get("op") == "shutdown":
+            if op == "shutdown":
                 self.server.request_shutdown()
                 return
 
@@ -110,6 +121,37 @@ class WorkerServer(socketserver.ThreadingTCPServer):
 
     def __init__(self, host: str, port: int) -> None:
         super().__init__((host, port), _ConnectionHandler)
+        #: Stable identity of this worker process: host name + PID —
+        #: what clients log when attributing chunks to hosts.
+        self.worker_id = f"{socket.gethostname()}-{os.getpid()}"
+        self._started = time.monotonic()
+        self._stats_lock = threading.Lock()
+        self._served = {"ping": 0, "chunk": 0, "task": 0, "shutdown": 0}
+        self._errors = 0
+
+    def record(self, op: str | None, ok: bool) -> None:
+        """Count one handled request toward the stats frame."""
+        with self._stats_lock:
+            if op in self._served:
+                self._served[op] += 1
+            if not ok:
+                self._errors += 1
+
+    def stats_frame(self) -> dict:
+        """A point-in-time stats dict piggybacked on every reply.
+
+        ``uptime`` is monotonic seconds since the server bound — a clock
+        that cannot jump, so clients can order frames from the same
+        worker and detect restarts (uptime reset ⇒ new process behind
+        the same host:port).
+        """
+        with self._stats_lock:
+            return {
+                "worker": self.worker_id,
+                "uptime": time.monotonic() - self._started,
+                "served": dict(self._served),
+                "errors": self._errors,
+            }
 
     @property
     def address(self) -> tuple[str, int]:
@@ -157,6 +199,14 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP port (default 0: OS-assigned, scrape it from the "
         "'listening on' line)",
     )
+    parser.add_argument(
+        "--stats-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="print a JSON stats line (worker id, uptime, served counts) "
+        "every SECONDS; 0 disables (default)",
+    )
     options = parser.parse_args(argv)
 
     server = WorkerServer(options.host, options.port)
@@ -164,9 +214,18 @@ def main(argv: list[str] | None = None) -> int:
         signal.signal(signum, lambda *_: server.request_shutdown())
     host, port = server.address
     print(f"listening on {host}:{port}", flush=True)
+    stop_stats = threading.Event()
+    if options.stats_interval > 0:
+
+        def _report_stats() -> None:
+            while not stop_stats.wait(options.stats_interval):
+                print(json.dumps(server.stats_frame()), flush=True)
+
+        threading.Thread(target=_report_stats, daemon=True).start()
     try:
         server.serve_forever()
     finally:
+        stop_stats.set()
         server.server_close()
     print("worker shut down", flush=True)
     return 0

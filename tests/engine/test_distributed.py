@@ -178,7 +178,7 @@ class TestFailover:
     def _spawn_worker(self):
         return _spawn_worker()
 
-    def test_worker_killed_mid_run_requeues_onto_survivor(self):
+    def test_worker_killed_mid_run_requeues_onto_survivor(self, caplog):
         scenario = get_scenario("iid-settlement", depth=20)
         runner = ExperimentRunner(scenario, chunk_size=512)
         serial = runner.run(10_240, seed=7, backend=SerialBackend())
@@ -189,15 +189,41 @@ class TestFailover:
             backend = DistributedBackend(
                 [victim_address, survivor_address], timeout=30.0
             )
-            with backend:
+            with backend, caplog.at_level(
+                "WARNING", logger="repro.engine.distributed"
+            ):
                 pending = runner.submit(10_240, seed=7, backend=backend)
                 victim.kill()  # hard kill: in-flight chunks requeue
                 distributed = pending.result()
             assert distributed == serial
+            # The requeue names the host (and, once a stats frame has
+            # arrived, the worker id behind it) that dropped the chunk.
+            victim_key = f"{victim_address[0]}:{victim_address[1]}"
+            requeues = [
+                record.getMessage()
+                for record in caplog.records
+                if "requeueing" in record.getMessage()
+            ]
+            assert any(victim_key in message for message in requeues)
         finally:
             for process in (victim, survivor):
                 process.kill()
                 process.wait(timeout=10)
+
+    def test_stats_frames_attribute_chunks_to_workers(self, workers):
+        scenario = get_scenario("iid-settlement", depth=15)
+        runner = ExperimentRunner(scenario, chunk_size=512)
+        with _backend(workers) as remote:
+            runner.run(4_096, seed=11, backend=remote)
+            stats = dict(remote.worker_stats)
+        served = 0
+        for server in workers:
+            key = f"{server.address[0]}:{server.address[1]}"
+            frame = stats[key]
+            assert frame["worker"] == server.worker_id
+            assert frame["uptime"] > 0
+            served += frame["served"]["chunk"]
+        assert served == 8  # 4096 trials / 512 chunk, across both hosts
 
     def test_all_workers_lost_fails_loudly(self):
         process, address = self._spawn_worker()

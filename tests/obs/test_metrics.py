@@ -1,0 +1,180 @@
+"""Metrics registry: instruments, exposition format, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("x_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 4.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram(bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        cumulative, total, count = histogram.snapshot()
+        assert cumulative == [1, 3, 4]  # le=0.1, le=1.0, +Inf
+        assert total == pytest.approx(6.05)
+        assert count == 4
+
+    def test_histogram_boundary_value_counts_le(self):
+        histogram = Histogram(bounds=(0.1, 1.0))
+        histogram.observe(0.1)
+        cumulative, _, _ = histogram.snapshot()
+        assert cumulative[0] == 1  # 0.1 <= 0.1 lands in the first bucket
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(bounds=(1.0, 0.1))
+
+    def test_same_name_same_labels_is_same_child(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total", x="1") is registry.counter(
+            "a_total", x="1"
+        )
+        assert registry.counter("a_total", x="1") is not registry.counter(
+            "a_total", x="2"
+        )
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("a_total")
+
+    def test_invalid_names_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", **{"bad-label": "x"})
+
+
+class TestRender:
+    def test_counter_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests", route="/a").inc(3)
+        text = registry.render()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{route="/a"} 3' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="0.1"} 0' in text
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.5" in text
+        assert "lat_seconds_count 1" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", path='a"b\\c').inc()
+        assert r'odd_total{path="a\"b\\c"} 1' in registry.render()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+
+class TestSwitchboard:
+    def test_disabled_accessors_return_null_singletons(self):
+        assert metrics.active() is None
+        assert metrics.counter("x_total") is NULL_COUNTER
+        assert metrics.gauge("x") is NULL_GAUGE
+        assert metrics.histogram("x_seconds") is NULL_HISTOGRAM
+        # The no-ops absorb updates without state.
+        metrics.counter("x_total").inc(5)
+        assert metrics.counter("x_total").value == 0
+
+    def test_enabled_registry_routes_and_restores(self):
+        with metrics.enabled_registry() as registry:
+            metrics.counter("y_total").inc(2)
+            assert registry.counter("y_total").value == 2
+            assert metrics.active() is registry
+        assert metrics.active() is None
+
+    def test_nested_enable_restores_outer(self):
+        with metrics.enabled_registry() as outer:
+            with metrics.enabled_registry() as inner:
+                assert metrics.active() is inner
+            assert metrics.active() is outer
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 5.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestThreadSafety:
+    def test_no_lost_increments_under_contention(self):
+        """Concurrent chunk completions must never lose an increment."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        histogram = registry.histogram("lat_seconds", buckets=(0.5,))
+        threads, per_thread = 8, 5_000
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(0.1)
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.value == threads * per_thread
+        cumulative, _, count = histogram.snapshot()
+        assert count == threads * per_thread
+        assert cumulative[-1] == threads * per_thread
+
+    def test_concurrent_family_creation_is_safe(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(8)
+
+        def create(i):
+            barrier.wait()
+            for j in range(200):
+                registry.counter("shared_total", worker=str(j % 5)).inc()
+
+        pool = [
+            threading.Thread(target=create, args=(i,)) for i in range(8)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        total = sum(
+            registry.counter("shared_total", worker=str(j)).value
+            for j in range(5)
+        )
+        assert total == 8 * 200

@@ -116,22 +116,62 @@ class TestServer:
                 "?alpha=0.49&unique_fraction=1.0&delta=0&depth=10"
             )
         assert excinfo.value.code == 400
-        assert "conservative hull" in json.loads(excinfo.value.read())["error"]
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"] == "out-of-domain"
+        assert "conservative hull" in payload["detail"]
 
     def test_missing_parameter_is_400(self, endpoint):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(f"{endpoint}/v1/violation?alpha=0.1")
         assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"] == "bad-request"
 
     def test_unknown_path_is_404(self, endpoint):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(f"{endpoint}/v2/nothing")
         assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"] == "not-found"
 
     def test_malformed_batch_is_400(self, endpoint):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(f"{endpoint}/v1/violation", {"alpha": [0.1]})
         assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"] == "bad-request"
+
+    def test_malformed_json_body_is_400(self, endpoint):
+        request = urllib.request.Request(
+            f"{endpoint}/v1/violation",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"] == "bad-request"
+        assert "bad request body" in payload["detail"]
+
+    def test_metrics_endpoint_counts_requests(self, endpoint):
+        _get(f"{endpoint}/healthz")
+        _get(
+            f"{endpoint}/v1/violation"
+            "?alpha=0.2&unique_fraction=1.0&delta=0&depth=10"
+        )
+        with pytest.raises(urllib.error.HTTPError):
+            _get(f"{endpoint}/v1/violation?alpha=0.1")
+        with urllib.request.urlopen(
+            f"{endpoint}/metrics", timeout=10
+        ) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode()
+        assert "# TYPE repro_oracle_requests_total counter" in text
+        assert (
+            'repro_oracle_requests_total{code="200",method="GET",'
+            'route="/v1/violation"}' in text
+        )
+        assert 'repro_oracle_errors_total{code="400"}' in text
+        assert "# TYPE repro_oracle_request_seconds histogram" in text
+        assert 'repro_oracle_request_seconds_count{route="/v1/violation"}' in text
 
 
 class TestCli:

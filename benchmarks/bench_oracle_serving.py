@@ -1,33 +1,55 @@
-"""Over-the-wire SLO bench: the oracle HTTP server under concurrent load.
+"""Over-the-wire SLO bench: every oracle serving mode under load.
 
 ``bench_oracle_throughput.py`` measures the oracle's *in-process* query
-paths; this module measures what a deployment actually gets: the stdlib
-``ThreadingHTTPServer`` answering real HTTP/1.1 requests on localhost,
-with concurrent persistent-connection clients on both query shapes:
+paths; this module measures what a deployment actually gets: real
+HTTP/1.1 requests on localhost, with concurrent persistent-connection
+clients on both query shapes, swept across the serving tier's modes:
+
+* **threaded** — the classic ``ThreadingHTTPServer`` (one thread per
+  connection, stdlib ``BaseHTTPRequestHandler`` parsing);
+* **async** — the single-threaded asyncio event loop with the
+  hand-rolled HTTP/1.1 parser and keep-alive pipelining;
+* **prefork4** — four forked worker processes (async transport)
+  sharing one listening socket, the scale-out mode.
+
+Per mode, both shapes are driven:
 
 * **scalar** — ``GET /v1/violation?...`` one query per request, the
   latency-sensitive interactive path;
 * **batch** — ``POST /v1/violation`` with columnar arrays, the
   throughput path (one NumPy gather answers the whole body).
 
-The recorded ``serving`` SLOs (asserted here and by ``run_all.py``):
+Recorded SLO floors (asserted here and by ``run_all.py``):
 
-* batch path sustains >= 50 000 queries/second *over the wire* on
-  localhost — the same floor the in-process path carries, i.e. HTTP
-  framing must not eat the batch advantage;
+* threaded batch sustains >= 50 000 queries/second over the wire —
+  the historical floor; HTTP framing must not eat the batch advantage;
+* async scalar >= 1.3x threaded scalar — the hand-rolled parser must
+  actually out-run ``BaseHTTPRequestHandler``'s email-module parsing
+  (a single-core property, asserted everywhere);
+* prefork4 batch >= factor x threaded batch, where the factor scales
+  with the cores the host actually has: 2.0 with >= 4 cores (the CI
+  shape), 1.2 with 2-3, and 0.5 on a single core (four processes on
+  one core can only add fork overhead — the floor then only guards
+  against pathological collapse; ``cpu_count`` is recorded so readers
+  can see which regime produced the number);
 * error rate is exactly 0 across every request of the run;
-* client-observed p50/p99 latencies are recorded for both shapes (no
-  floor — they document the artifact, the floors above gate it).
+* a golden query set (successes *and* errors) returns byte-identical
+  bodies from every mode — the serving tier's parity contract;
+* the ``/metrics`` endpoint counted the load it served.
+
+Also recorded: the batch-encode micro-benchmark — ``ndarray.tolist()``
++ one ``json.dumps`` against the per-element ``float()`` loop it
+replaced in the batch route, on a 2 000-wide batch.
 
 The artifact is the tiny preset with the Monte-Carlo cross-check
 disabled (the bench exercises serving, not building) in a throwaway
-directory.  The server's own ``/metrics`` endpoint is scraped at the
-end and must have counted every request the clients sent — the
-telemetry pipeline is load-tested together with the data path.
+directory.
 """
 
 import dataclasses
 import json
+import multiprocessing
+import os
 import pathlib
 import sys
 import threading
@@ -45,7 +67,12 @@ from repro.oracle import (  # noqa: E402
     TINY_SPEC,
     build_tables,
 )
-from repro.oracle.server import make_server  # noqa: E402
+from repro.oracle.aioserver import AsyncHTTPServer  # noqa: E402
+from repro.oracle.app import OracleApp  # noqa: E402
+from repro.oracle.server import (  # noqa: E402
+    make_listening_socket,
+    make_server,
+)
 
 #: The serving artifact: tiny grid, no MC cross-check (pure DP build).
 SERVING_SPEC = dataclasses.replace(
@@ -53,8 +80,27 @@ SERVING_SPEC = dataclasses.replace(
 )
 
 QUERY_SEED = 20200707
-BATCH_HTTP_FLOOR = 50_000.0  # queries/s over localhost HTTP
+BATCH_HTTP_FLOOR = 50_000.0  # queries/s over localhost HTTP (threaded)
+ASYNC_SCALAR_SPEEDUP_FLOOR = 1.3  # vs threaded scalar, any core count
 ERROR_RATE_MAX = 0.0
+PREFORK_WORKERS = 4
+
+
+def prefork_speedup_floor(cpu_count: int | None) -> float:
+    """The prefork4-vs-threaded batch floor for this host's cores.
+
+    Four workers need four cores to prove a 2x win; on smaller hosts
+    the floor degrades honestly (same policy as the distributed
+    backend's bench) rather than asserting physically impossible
+    parallelism: 1.2x with 2-3 cores, and on a single core only a
+    guard against collapse (0.5x — fork + scheduling overhead).
+    """
+    cores = cpu_count or 1
+    if cores >= 4:
+        return 2.0
+    if cores >= 2:
+        return 1.2
+    return 0.5
 
 
 def _percentile_ms(latencies: list[float], fraction: float) -> float:
@@ -124,8 +170,150 @@ def _drive(address, clients: int, requester) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Booting the modes
+# ----------------------------------------------------------------------
+
+
+def _prefork_worker(directory: str, sock, index: int) -> None:
+    worker_oracle = SettlementOracle.load(directory)
+    app = OracleApp(worker_oracle, worker_label=str(index))
+    AsyncHTTPServer(app, sock=sock).run()
+
+
+def _wait_ready(address, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            probe = HTTPConnection(*address, timeout=5)
+            probe.request("GET", "/healthz")
+            if probe.getresponse().status == 200:
+                probe.close()
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise RuntimeError(f"serving mode at {address} never became ready")
+
+
+def _boot(mode: str, directory: str, oracle):
+    """Start one serving mode; returns ``(address, stop)``."""
+    if mode == "threaded":
+        server = make_server(oracle, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+
+        def stop():
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+        return server.server_address[:2], stop
+    if mode == "async":
+        server = AsyncHTTPServer(OracleApp(oracle)).start()
+        return tuple(server.server_address[:2]), server.shutdown
+    assert mode == "prefork4"
+    sock = make_listening_socket()
+    address = sock.getsockname()[:2]
+    context = multiprocessing.get_context("fork")
+    workers = [
+        context.Process(
+            target=_prefork_worker,
+            args=(directory, sock, index),
+            daemon=True,
+        )
+        for index in range(PREFORK_WORKERS)
+    ]
+    for worker in workers:
+        worker.start()
+    sock.close()
+    _wait_ready(address)
+
+    def stop():
+        for worker in workers:
+            worker.terminate()
+        for worker in workers:
+            worker.join(timeout=10)
+
+    return address, stop
+
+
+# ----------------------------------------------------------------------
+# Parity + encode micro-bench
+# ----------------------------------------------------------------------
+
+_PARITY_REQUESTS = (
+    ("GET", "/healthz", None),
+    ("GET", "/v1/violation?alpha=0.13&unique_fraction=0.83&delta=1&depth=7", None),
+    ("GET", "/v1/depth?alpha=0.1&unique_fraction=1.0&delta=0&target=0.1", None),
+    ("GET", "/v1/violation?alpha=0.49&unique_fraction=1.0&delta=0&depth=10", None),
+    ("GET", "/v1/violation?alpha=0.1", None),
+    ("GET", "/v2/nothing", None),
+    (
+        "POST",
+        "/v1/violation",
+        {
+            "alpha": [0.1, 0.2, 0.13],
+            "unique_fraction": [1.0, 0.5, 0.8],
+            "delta": [0, 2, 1],
+            "depth": [5, 10, 7],
+        },
+    ),
+    ("POST", "/v1/violation", {"alpha": [0.1], "strict": "oops"}),
+)
+
+
+def _mode_transcript(address) -> list:
+    transcript = []
+    for method, target, payload in _PARITY_REQUESTS:
+        connection = HTTPConnection(*address, timeout=60)
+        try:
+            body = (
+                json.dumps(payload).encode() if payload is not None else None
+            )
+            connection.request(
+                method,
+                target,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            transcript.append((response.status, response.read()))
+        finally:
+            connection.close()
+    return transcript
+
+
+def _batch_encode_record(batch_size: int = 2_000) -> dict:
+    """The batch-route encode micro-benchmark: per-element ``float()``
+    conversion (the replaced code) vs ``ndarray.tolist()``."""
+    values = np.random.default_rng(QUERY_SEED).uniform(0, 1, batch_size)
+    repeats = 50
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        json.dumps({"violation_probability": [float(v) for v in values]})
+    per_element = (time.perf_counter() - start) / repeats
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        json.dumps({"violation_probability": values.tolist()})
+    tolist = (time.perf_counter() - start) / repeats
+
+    return {
+        "batch_size": batch_size,
+        "per_element_ms": round(per_element * 1e3, 4),
+        "tolist_ms": round(tolist * 1e3, 4),
+        "speedup": round(per_element / tolist, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# The record
+# ----------------------------------------------------------------------
+
+
 def serving_record(quick: bool) -> dict:
-    """Build, serve, and load-test the oracle; the ``serving`` record."""
+    """Build, serve, and load-test every mode; the ``serving`` record."""
     import tempfile
 
     clients = 2 if quick else 4
@@ -133,44 +321,26 @@ def serving_record(quick: bool) -> dict:
     batch_requests = 15 if quick else 40  # per client
     batch_size = 1_000 if quick else 2_000  # queries per POST
 
+    rng = np.random.default_rng(QUERY_SEED)
+
     with tempfile.TemporaryDirectory(prefix="repro-serving-") as directory:
         build_tables(SERVING_SPEC, out_dir=directory)
         oracle = SettlementOracle.load(directory)
-        server = make_server(oracle, port=0)
-        address = server.server_address[:2]
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        try:
-            spec = oracle.spec
-            rng = np.random.default_rng(QUERY_SEED)
+        spec = oracle.spec
 
-            def scalar_requester(connection, index):
-                queries = _in_hull_queries(spec, scalar_requests, rng)
-                latencies, errors = [], 0
-                for alpha, fraction, delta, depth in zip(*queries):
-                    path = (
-                        f"/v1/violation?alpha={alpha}"
-                        f"&unique_fraction={fraction}"
-                        f"&delta={delta}&depth={depth}"
-                    )
-                    started = time.perf_counter()
-                    connection.request("GET", path)
-                    response = connection.getresponse()
-                    body = response.read()
-                    latencies.append(time.perf_counter() - started)
-                    if (
-                        response.status != 200
-                        or "violation_probability" not in json.loads(body)
-                    ):
-                        errors += 1
-                        latencies.pop()
-                return latencies, errors
-
-            def batch_requester(connection, index):
-                alphas, fractions, deltas, depths = _in_hull_queries(
-                    spec, batch_size, rng
-                )
-                payload = json.dumps(
+        # Pre-generate per-client query sets (the generator is not
+        # thread-safe; the drive threads only read).
+        scalar_queries = [
+            list(zip(*_in_hull_queries(spec, scalar_requests, rng)))
+            for _ in range(clients)
+        ]
+        batch_payloads = []
+        for _ in range(clients):
+            alphas, fractions, deltas, depths = _in_hull_queries(
+                spec, batch_size, rng
+            )
+            batch_payloads.append(
+                json.dumps(
                     {
                         "alpha": alphas.tolist(),
                         "unique_fraction": fractions.tolist(),
@@ -178,71 +348,142 @@ def serving_record(quick: bool) -> dict:
                         "depth": depths.tolist(),
                     }
                 ).encode()
-                headers = {"Content-Type": "application/json"}
-                latencies, errors = [], 0
-                for _ in range(batch_requests):
-                    started = time.perf_counter()
-                    connection.request(
-                        "POST", "/v1/violation", payload, headers
-                    )
-                    response = connection.getresponse()
-                    body = response.read()
-                    latencies.append(time.perf_counter() - started)
-                    if response.status != 200 or len(
-                        json.loads(body)["violation_probability"]
-                    ) != batch_size:
-                        errors += 1
-                        latencies.pop()
-                return latencies, errors
+            )
 
-            scalar = _drive(address, clients, scalar_requester)
-            batch = _drive(address, clients, batch_requester)
-
-            # The server's own telemetry must have counted the load.
-            probe = HTTPConnection(*address, timeout=60)
-            try:
-                probe.request("GET", "/metrics")
-                response = probe.getresponse()
-                exposition = response.read().decode()
-                metrics_ok = (
-                    response.status == 200
-                    and "repro_oracle_requests_total" in exposition
-                    and "repro_oracle_request_seconds_bucket" in exposition
+        def scalar_requester(connection, index):
+            latencies, errors = [], 0
+            for alpha, fraction, delta, depth in scalar_queries[index]:
+                path = (
+                    f"/v1/violation?alpha={alpha}"
+                    f"&unique_fraction={fraction}"
+                    f"&delta={delta}&depth={depth}"
                 )
+                started = time.perf_counter()
+                connection.request("GET", path)
+                response = connection.getresponse()
+                body = response.read()
+                latencies.append(time.perf_counter() - started)
+                if (
+                    response.status != 200
+                    or "violation_probability" not in json.loads(body)
+                ):
+                    errors += 1
+                    latencies.pop()
+            return latencies, errors
+
+        def batch_requester(connection, index):
+            payload = batch_payloads[index]
+            headers = {"Content-Type": "application/json"}
+            latencies, errors = [], 0
+            for _ in range(batch_requests):
+                started = time.perf_counter()
+                connection.request("POST", "/v1/violation", payload, headers)
+                response = connection.getresponse()
+                body = response.read()
+                latencies.append(time.perf_counter() - started)
+                if response.status != 200 or len(
+                    json.loads(body)["violation_probability"]
+                ) != batch_size:
+                    errors += 1
+                    latencies.pop()
+            return latencies, errors
+
+        modes = {}
+        transcripts = {}
+        metrics_ok = False
+        for mode in ("threaded", "async", "prefork4"):
+            address, stop = _boot(mode, directory, oracle)
+            try:
+                scalar = _drive(address, clients, scalar_requester)
+                batch = _drive(address, clients, batch_requester)
+                transcripts[mode] = _mode_transcript(address)
+                if mode == "threaded":
+                    # The server's telemetry must have counted the load.
+                    probe = HTTPConnection(*address, timeout=60)
+                    try:
+                        probe.request("GET", "/metrics")
+                        response = probe.getresponse()
+                        exposition = response.read().decode()
+                        metrics_ok = (
+                            response.status == 200
+                            and "repro_oracle_requests_total" in exposition
+                            and "repro_oracle_request_seconds_bucket"
+                            in exposition
+                        )
+                    finally:
+                        probe.close()
             finally:
-                probe.close()
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=10)
+                stop()
+            scalar["requests_per_second"] = round(
+                scalar["requests"] / scalar.pop("_wall"), 1
+            )
+            batch_queries = batch["requests"] * batch_size
+            batch["batch_size"] = batch_size
+            batch["queries"] = batch_queries
+            batch["queries_per_second"] = round(
+                batch_queries / batch.pop("_wall"), 1
+            )
+            entry = {"scalar": scalar, "batch": batch}
+            if mode == "prefork4":
+                entry["workers"] = PREFORK_WORKERS
+            modes[mode] = entry
 
-    scalar["requests_per_second"] = round(
-        scalar["requests"] / scalar.pop("_wall"), 1
+    threaded = modes["threaded"]
+    answers_identical = all(
+        transcripts[mode] == transcripts["threaded"]
+        for mode in ("async", "prefork4")
     )
-    batch_queries = batch["requests"] * batch_size
-    batch["batch_size"] = batch_size
-    batch["queries"] = batch_queries
-    batch["queries_per_second"] = round(
-        batch_queries / batch.pop("_wall"), 1
+    async_speedup = round(
+        modes["async"]["scalar"]["requests_per_second"]
+        / threaded["scalar"]["requests_per_second"],
+        2,
     )
+    prefork_speedup = round(
+        modes["prefork4"]["batch"]["queries_per_second"]
+        / threaded["batch"]["queries_per_second"],
+        2,
+    )
+    cpu_count = os.cpu_count()
+    prefork_floor = prefork_speedup_floor(cpu_count)
 
-    total_requests = scalar["requests"] + batch["requests"]
-    total_errors = scalar["errors"] + batch["errors"]
+    total_requests = sum(
+        entry[shape]["requests"]
+        for entry in modes.values()
+        for shape in ("scalar", "batch")
+    )
+    total_errors = sum(
+        entry[shape]["errors"]
+        for entry in modes.values()
+        for shape in ("scalar", "batch")
+    )
     record = {
         "artifact_cells": int(oracle.tables.forward.size),
         "quick": quick,
-        "scalar": scalar,
-        "batch": batch,
+        "cpu_count": cpu_count,
+        # Historical top-level rows == the threaded mode (kept so older
+        # readers of BENCH_engine.json keep working).
+        "scalar": threaded["scalar"],
+        "batch": threaded["batch"],
+        "modes": modes,
+        "async_scalar_speedup": async_speedup,
+        "prefork_batch_speedup": prefork_speedup,
+        "answers_identical_across_modes": answers_identical,
+        "batch_encode": _batch_encode_record(),
         "error_rate": total_errors / total_requests,
         "metrics_endpoint_counted_load": metrics_ok,
         "slo": {
             "batch_queries_per_second_floor": BATCH_HTTP_FLOOR,
+            "async_scalar_speedup_floor": ASYNC_SCALAR_SPEEDUP_FLOOR,
+            "prefork_batch_speedup_floor": prefork_floor,
             "error_rate_max": ERROR_RATE_MAX,
         },
     }
     record["slo"]["met"] = (
-        batch["queries_per_second"] >= BATCH_HTTP_FLOOR
+        threaded["batch"]["queries_per_second"] >= BATCH_HTTP_FLOOR
+        and async_speedup >= ASYNC_SCALAR_SPEEDUP_FLOOR
+        and prefork_speedup >= prefork_floor
         and record["error_rate"] <= ERROR_RATE_MAX
+        and answers_identical
         and metrics_ok
     )
     return record
@@ -253,7 +494,15 @@ def test_serving_meets_slo_floors():
     record = serving_record(quick=True)
     assert record["error_rate"] == 0.0, record
     assert record["batch"]["queries_per_second"] >= BATCH_HTTP_FLOOR, record
+    assert (
+        record["async_scalar_speedup"] >= ASYNC_SCALAR_SPEEDUP_FLOOR
+    ), record
+    assert record["prefork_batch_speedup"] >= (
+        record["slo"]["prefork_batch_speedup_floor"]
+    ), record
+    assert record["answers_identical_across_modes"], record
     assert record["metrics_endpoint_counted_load"], record
+    assert record["batch_encode"]["speedup"] > 1.0, record
     assert record["slo"]["met"]
 
 
@@ -274,21 +523,37 @@ def main() -> int:
     merged = json.loads(out.read_text()) if out.exists() else {}
     merged["serving"] = record
     out.write_text(json.dumps(merged, indent=2) + "\n")
+    for mode, entry in record["modes"].items():
+        print(
+            f"serving[{mode}]: scalar "
+            f"{entry['scalar']['requests_per_second']} req/s "
+            f"(p50 {entry['scalar']['p50_ms']}ms, "
+            f"p99 {entry['scalar']['p99_ms']}ms), batch "
+            f"{entry['batch']['queries_per_second']} queries/s "
+            f"(p50 {entry['batch']['p50_ms']}ms, "
+            f"p99 {entry['batch']['p99_ms']}ms)"
+        )
     print(
-        f"serving: scalar {record['scalar']['requests_per_second']} req/s "
-        f"(p50 {record['scalar']['p50_ms']}ms, "
-        f"p99 {record['scalar']['p99_ms']}ms), batch "
-        f"{record['batch']['queries_per_second']} queries/s "
-        f"(p50 {record['batch']['p50_ms']}ms, "
-        f"p99 {record['batch']['p99_ms']}ms), error rate "
+        f"serving: async scalar speedup {record['async_scalar_speedup']}x "
+        f"(floor {ASYNC_SCALAR_SPEEDUP_FLOOR}), prefork4 batch speedup "
+        f"{record['prefork_batch_speedup']}x (floor "
+        f"{record['slo']['prefork_batch_speedup_floor']}, "
+        f"{record['cpu_count']} cores), batch encode speedup "
+        f"{record['batch_encode']['speedup']}x, parity "
+        f"{record['answers_identical_across_modes']}, error rate "
         f"{record['error_rate']}; record merged into {out}"
     )
     if not record["slo"]["met"]:
         print(
             "FAIL: serving SLO floors not met "
-            f"(batch {record['batch']['queries_per_second']} q/s vs "
-            f"{BATCH_HTTP_FLOOR} floor, error rate "
-            f"{record['error_rate']})",
+            f"(threaded batch {record['batch']['queries_per_second']} q/s "
+            f"vs {BATCH_HTTP_FLOOR} floor, async scalar speedup "
+            f"{record['async_scalar_speedup']} vs "
+            f"{ASYNC_SCALAR_SPEEDUP_FLOOR}, prefork batch speedup "
+            f"{record['prefork_batch_speedup']} vs "
+            f"{record['slo']['prefork_batch_speedup_floor']}, error rate "
+            f"{record['error_rate']}, parity "
+            f"{record['answers_identical_across_modes']})",
             file=sys.stderr,
         )
         return 1

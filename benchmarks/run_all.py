@@ -26,11 +26,14 @@ Ten jobs:
    and measure both query paths against recomputing the exact DP per
    query (floors: scalar >= 100x the DP, batch >= 50k queries/s) — the
    "oracle" record;
-6. load-test the oracle's real HTTP server over localhost — concurrent
-   persistent-connection clients on the scalar GET and columnar-batch
-   POST paths — recording sustained request rates and client-observed
-   p50/p99 latency, with asserted SLO floors (batch >= 50k queries/s
-   *over the wire*, error rate exactly 0, /metrics accounted for the
+6. load-test every oracle serving mode over localhost — threaded,
+   async, and prefork(4) — with concurrent persistent-connection
+   clients on the scalar GET and columnar-batch POST paths, recording
+   sustained rates and client-observed p50/p99 latency per mode, with
+   asserted SLO floors (threaded batch >= 50k queries/s *over the
+   wire*, async scalar >= 1.3x threaded, prefork batch >= a
+   core-count-scaled multiple of threaded, byte-identical bodies
+   across modes, error rate exactly 0, /metrics accounted for the
    load) — the "serving" record;
 7. run one fixed workload on every execution backend — serial, process,
    array-namespace, and distributed (two localhost repro.worker
@@ -897,13 +900,22 @@ def main() -> int:
         f"{oracle['batch_queries_per_second']} queries/s"
     )
     serving = record["serving"]
+    for mode, entry in serving["modes"].items():
+        print(
+            f"serving[{mode}]: scalar "
+            f"{entry['scalar']['requests_per_second']} req/s "
+            f"(p50 {entry['scalar']['p50_ms']}ms, "
+            f"p99 {entry['scalar']['p99_ms']}ms), batch "
+            f"{entry['batch']['queries_per_second']} queries/s over HTTP "
+            f"(p50 {entry['batch']['p50_ms']}ms, "
+            f"p99 {entry['batch']['p99_ms']}ms)"
+        )
     print(
-        f"serving: scalar {serving['scalar']['requests_per_second']} req/s "
-        f"(p50 {serving['scalar']['p50_ms']}ms, "
-        f"p99 {serving['scalar']['p99_ms']}ms), batch "
-        f"{serving['batch']['queries_per_second']} queries/s over HTTP "
-        f"(p50 {serving['batch']['p50_ms']}ms, "
-        f"p99 {serving['batch']['p99_ms']}ms), error rate "
+        f"serving: async scalar speedup {serving['async_scalar_speedup']}x, "
+        f"prefork4 batch speedup {serving['prefork_batch_speedup']}x "
+        f"({serving['cpu_count']} cores), batch-encode speedup "
+        f"{serving['batch_encode']['speedup']}x, byte parity "
+        f"{serving['answers_identical_across_modes']}, error rate "
         f"{serving['error_rate']}"
     )
     backend = record["backend"]
@@ -1002,6 +1014,34 @@ def main() -> int:
         print(
             "FAIL: oracle serving batch path below the 50k queries/s "
             f"over-HTTP floor ({serving['batch']['queries_per_second']}/s)",
+            file=sys.stderr,
+        )
+        return 1
+    if serving["async_scalar_speedup"] < serving["slo"][
+        "async_scalar_speedup_floor"
+    ]:
+        print(
+            "FAIL: async serving scalar path below its speedup floor "
+            f"({serving['async_scalar_speedup']}x vs "
+            f"{serving['slo']['async_scalar_speedup_floor']}x of threaded)",
+            file=sys.stderr,
+        )
+        return 1
+    if serving["prefork_batch_speedup"] < serving["slo"][
+        "prefork_batch_speedup_floor"
+    ]:
+        print(
+            "FAIL: prefork serving batch path below its speedup floor "
+            f"({serving['prefork_batch_speedup']}x vs "
+            f"{serving['slo']['prefork_batch_speedup_floor']}x of threaded "
+            f"on {serving['cpu_count']} cores)",
+            file=sys.stderr,
+        )
+        return 1
+    if not serving["answers_identical_across_modes"]:
+        print(
+            "FAIL: serving modes returned different bytes on the golden "
+            "request set",
             file=sys.stderr,
         )
         return 1

@@ -10,19 +10,38 @@ mmap-loadable artifact (:mod:`repro.oracle.store`).  The in-memory
 :class:`SettlementOracle` (:mod:`repro.oracle.service`) answers single
 and vectorized batch queries from that artifact: bit-identical to the
 DP at grid points, conservatively rounded (never optimistic) between
-them.  A stdlib HTTP server (:mod:`repro.oracle.server`) and the
-``python -m repro.oracle`` CLI (:mod:`repro.oracle.cli`) expose it to
-the network.
+them.  A stdlib serving tier exposes it to the network: one
+transport-agnostic route/error/metrics core (:mod:`repro.oracle.app`)
+behind either a threaded HTTP server (:mod:`repro.oracle.server`) or an
+asyncio keep-alive/pipelining server (:mod:`repro.oracle.aioserver`),
+optionally pre-forked across worker processes sharing one listening
+socket, with background traffic-driven refinement
+(:mod:`repro.oracle.refine`) tightening hot off-grid answers while
+every reply stays a certified upper bound.  The ``python -m
+repro.oracle`` CLI (:mod:`repro.oracle.cli`) drives it all.
 
 See docs/ARCHITECTURE.md ("Layer 6") for the artifact-format contract.
 """
 
+from repro.oracle.app import DEFAULT_MAX_BODY_BYTES, OracleApp
+from repro.oracle.aioserver import AsyncHTTPServer
+from repro.oracle.refine import (
+    RefineDaemon,
+    SnapTally,
+    load_overlay,
+    refine_once,
+    save_overlay,
+)
 from repro.oracle.service import (
     OracleDomainError,
     SettlementOracle,
     UNREACHABLE_DEPTH,
 )
-from repro.oracle.server import make_server, serve_forever
+from repro.oracle.server import (
+    make_listening_socket,
+    make_server,
+    serve_forever,
+)
 from repro.oracle.store import (
     FORMAT,
     FORMAT_VERSION,
@@ -43,22 +62,31 @@ from repro.oracle.tables import (
 )
 
 __all__ = [
+    "AsyncHTTPServer",
     "BuildReport",
+    "DEFAULT_MAX_BODY_BYTES",
     "DEFAULT_SPEC",
     "FORMAT",
     "FORMAT_VERSION",
+    "OracleApp",
     "OracleDomainError",
     "OracleSpec",
     "OracleTables",
+    "RefineDaemon",
     "SettlementOracle",
+    "SnapTally",
     "StoreError",
     "TINY_SPEC",
     "UNREACHABLE_DEPTH",
     "build_tables",
     "effective_probabilities",
+    "load_overlay",
     "load_tables",
+    "make_listening_socket",
     "make_server",
     "read_manifest",
+    "refine_once",
+    "save_overlay",
     "save_tables",
     "serve_forever",
     "spec_fingerprint",

@@ -1,0 +1,270 @@
+"""Asyncio HTTP/1.1 front end for the oracle (stdlib-only).
+
+The oracle is read-only mmap-backed NumPy state — every query is a
+pure lookup, microseconds of work — so the threaded server's cost is
+dominated by transport overhead: a thread per connection, and
+``BaseHTTPRequestHandler``'s ``email``-module header parsing on every
+request.  This module replaces both with a single-threaded event loop
+and a hand-rolled minimal HTTP/1.1 parser:
+
+* **keep-alive + pipelining** — requests are parsed straight out of
+  the connection's stream buffer; a client that writes several
+  requests back-to-back gets all responses in order without waiting;
+* **bounded buffers** — the header section is capped at
+  ``MAX_HEADER_BYTES`` (431 and close on overflow) and the body at the
+  app's ``max_body_bytes`` (structured 413 *without reading the
+  body*), so no connection can balloon the process;
+* **one write per response** — status line, headers, and body leave in
+  a single ``write`` (plus ``TCP_NODELAY``), so no Nagle/delayed-ACK
+  stall can re-appear.
+
+All routing, parsing of parameters/bodies, error rendering, and
+metrics live in the shared :class:`~repro.oracle.app.OracleApp` — the
+response *bytes* are identical to the threaded server's on every
+route, which the serving-mode conformance suite asserts.
+
+:class:`AsyncHTTPServer` runs either blocking (:meth:`run`, the
+pre-fork worker entry) or on a background thread
+(:meth:`start`/:meth:`shutdown`, mirroring ``ThreadingHTTPServer``'s
+test ergonomics).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from http.client import responses as _REASONS
+from urllib.parse import urlsplit
+
+from repro.oracle.app import OracleApp, request_clock
+
+__all__ = ["MAX_HEADER_BYTES", "AsyncHTTPServer"]
+
+#: Cap on one request's header section (request line + headers).  A
+#: connection that exceeds it gets a 431 and is closed — the buffer
+#: bound that keeps a slow-loris header stream from growing the heap.
+MAX_HEADER_BYTES = 64 * 1024
+
+
+class AsyncHTTPServer:
+    """One event loop serving :class:`OracleApp` over HTTP/1.1."""
+
+    def __init__(
+        self,
+        app: OracleApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sock: socket.socket | None = None,
+    ) -> None:
+        self.app = app
+        self._host = host
+        self._port = port
+        self._sock = sock
+        self.server_address = (
+            sock.getsockname()[:2] if sock is not None else None
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if self._sock is not None:
+            server = await asyncio.start_server(
+                self._connection, sock=self._sock, limit=MAX_HEADER_BYTES
+            )
+        else:
+            server = await asyncio.start_server(
+                self._connection,
+                self._host,
+                self._port,
+                limit=MAX_HEADER_BYTES,
+            )
+        self.server_address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+
+    def run(self) -> None:
+        """Serve until :meth:`shutdown` (or KeyboardInterrupt) — the
+        blocking entry a pre-fork worker or the CLI runs."""
+        try:
+            asyncio.run(self._serve())
+        except KeyboardInterrupt:
+            pass
+
+    def start(self) -> "AsyncHTTPServer":
+        """Serve on a daemon thread; returns once the port is bound."""
+        self._thread = threading.Thread(
+            target=self.run, daemon=True, name="oracle-aioserver"
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("async oracle server failed to start")
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the loop (threadsafe); joins the background thread."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    # -- the connection loop ------------------------------------------
+
+    async def _connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        raw = writer.get_extra_info("socket")
+        if raw is not None:
+            raw.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if peer else None
+        app = self.app
+        try:
+            while True:
+                try:
+                    header_block = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    break  # clean EOF (or mid-request disconnect)
+                except asyncio.LimitOverrunError:
+                    started = request_clock()
+                    response = app.error(
+                        431,
+                        "too-large",
+                        "request header section exceeds "
+                        f"{MAX_HEADER_BYTES} bytes",
+                    )
+                    self._write(writer, response, close=True)
+                    await writer.drain()
+                    app.observe(
+                        "?", "other", response.status,
+                        request_clock() - started, client=client,
+                    )
+                    break
+
+                started = request_clock()
+                close = False
+                method = "?"
+                path = "other"
+                parsed = self._parse(header_block)
+                if parsed is None:
+                    response = app.error(
+                        400, "bad-request", "malformed HTTP request"
+                    )
+                    close = True
+                else:
+                    method, target, keep_alive, headers = parsed
+                    path = urlsplit(target).path
+                    close = not keep_alive
+                    if b"transfer-encoding" in headers:
+                        response = app.unsupported_transfer_encoding()
+                        close = True
+                    else:
+                        raw_length = headers.get(b"content-length")
+                        try:
+                            length = int(raw_length) if raw_length else 0
+                            if length < 0:
+                                raise ValueError(length)
+                        except ValueError:
+                            response = app.bad_content_length(
+                                (raw_length or b"").decode(
+                                    "latin-1", "replace"
+                                )
+                            )
+                            close = True
+                        else:
+                            if length > app.max_body_bytes:
+                                # Reject on the header alone — the body
+                                # is never read, so the stream framing
+                                # is gone and the connection must close.
+                                response = app.too_large(length)
+                                close = True
+                            else:
+                                body = (
+                                    await reader.readexactly(length)
+                                    if length
+                                    else b""
+                                )
+                                if method in ("GET", "POST"):
+                                    response = app.handle(
+                                        method, target, body
+                                    )
+                                else:
+                                    response = app.error(
+                                        501,
+                                        "bad-request",
+                                        f"unsupported method {method!r}",
+                                    )
+                                    close = True
+
+                self._write(writer, response, close=close)
+                await writer.drain()
+                app.observe(
+                    method,
+                    path,
+                    response.status,
+                    request_clock() - started,
+                    client=client,
+                )
+                if close:
+                    break
+        except asyncio.CancelledError:
+            pass  # server shutting down mid-connection
+        finally:
+            # Responses are drained before each loop turn, so a plain
+            # close loses nothing; awaiting wait_closed here would trip
+            # the streams module's cancelled-task logging at shutdown.
+            writer.close()
+
+    @staticmethod
+    def _parse(header_block: bytes):
+        """Parse one request head; ``None`` on malformed input.
+
+        Returns ``(method, target, keep_alive, headers)`` with header
+        names lower-cased bytes.  HTTP/1.1 defaults to keep-alive,
+        HTTP/1.0 to close, either overridden by ``Connection``.
+        """
+        lines = header_block[:-4].split(b"\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            return None
+        method = parts[0].decode("latin-1")
+        target = parts[1].decode("latin-1")
+        version = parts[2]
+        if version not in (b"HTTP/1.1", b"HTTP/1.0"):
+            return None
+        headers: dict[bytes, bytes] = {}
+        for line in lines[1:]:
+            name, separator, value = line.partition(b":")
+            if not separator:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        connection = headers.get(b"connection", b"").lower()
+        if version == b"HTTP/1.1":
+            keep_alive = connection != b"close"
+        else:
+            keep_alive = connection == b"keep-alive"
+        return method, target, keep_alive, headers
+
+    @staticmethod
+    def _write(writer: asyncio.StreamWriter, response, close: bool) -> None:
+        reason = _REASONS.get(response.status, "")
+        head = (
+            f"HTTP/1.1 {response.status} {reason}\r\n"
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(response.body)}\r\n"
+            f"{'Connection: close' + chr(13) + chr(10) if close else ''}"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + response.body)

@@ -6,7 +6,10 @@ Verbs::
            [--cache-dir DIR] [--force]
     info   ARTIFACT
     query  ARTIFACT --alpha A --fraction F --delta D (--depth K | --target P)
-    serve  ARTIFACT [--host H] [--port P]
+    serve  ARTIFACT [--host H] [--port P] [--mode threaded|async]
+           [--workers N] [--max-body-bytes B]
+           [--refine] [--refine-path FILE] [--refine-interval S]
+           [--refine-top N]
 
 ``build`` starts from a preset spec and lets every axis be overridden
 (``--alphas 0.1,0.2 --depths 10,20,40 ...``), so CI can build a tiny
@@ -21,13 +24,15 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import pathlib
 import sys
 
 from repro.engine.cache import ResultCache, cache_from_env
 from repro.engine.parallel import BACKEND_NAMES, make_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import disable_tracing, enable_tracing
-from repro.oracle.server import serve_forever
+from repro.oracle.app import DEFAULT_MAX_BODY_BYTES
+from repro.oracle.server import SERVING_MODES, serve_forever
 from repro.oracle.service import SettlementOracle
 from repro.oracle.store import StoreError
 from repro.oracle.tables import DEFAULT_SPEC, TINY_SPEC, OracleSpec, build_tables
@@ -170,7 +175,23 @@ def _cmd_query(args) -> int:
 
 def _cmd_serve(args) -> int:
     oracle = SettlementOracle.load(args.artifact)
-    serve_forever(oracle, host=args.host, port=args.port, quiet=args.quiet)
+    refine_path = None
+    if args.refine or args.refine_path is not None:
+        refine_path = args.refine_path or str(
+            pathlib.Path(args.artifact) / "overlay.json"
+        )
+    serve_forever(
+        oracle,
+        host=args.host,
+        port=args.port,
+        quiet=args.quiet,
+        mode=args.mode,
+        workers=args.workers,
+        max_body_bytes=args.max_body_bytes,
+        refine_path=refine_path,
+        refine_interval=args.refine_interval,
+        refine_top=args.refine_top,
+    )
     return 0
 
 
@@ -286,6 +307,66 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+    serve.add_argument(
+        "--mode",
+        choices=SERVING_MODES,
+        default="threaded",
+        help=(
+            "HTTP transport: classic thread-per-connection, or a "
+            "single-threaded asyncio event loop with keep-alive "
+            "pipelining (default: threaded)"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "pre-fork this many worker processes sharing one listening "
+            "socket; each mmap-shares the artifact and labels its "
+            "metrics with worker=N (default: 1, no fork)"
+        ),
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=DEFAULT_MAX_BODY_BYTES,
+        help=(
+            "reject POST bodies larger than this with a structured 413 "
+            f"(default: {DEFAULT_MAX_BODY_BYTES})"
+        ),
+    )
+    serve.add_argument(
+        "--refine",
+        action="store_true",
+        help=(
+            "tally where queries snap conservatively and refine the "
+            "hottest off-grid cells with exact DPs in the background, "
+            "publishing a hot-swapped overlay artifact (answers only "
+            "ever tighten; every reply stays a certified upper bound)"
+        ),
+    )
+    serve.add_argument(
+        "--refine-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "overlay artifact location (implies --refine; default: "
+            "ARTIFACT/overlay.json)"
+        ),
+    )
+    serve.add_argument(
+        "--refine-interval",
+        type=float,
+        default=5.0,
+        help="seconds between refinement passes (default: 5)",
+    )
+    serve.add_argument(
+        "--refine-top",
+        type=int,
+        default=16,
+        help="hottest off-grid cells refined per pass (default: 16)",
     )
     serve.set_defaults(run=_cmd_serve)
 

@@ -1,0 +1,451 @@
+"""Traffic-driven refinement: tiered overlay artifacts for hot cells.
+
+The base table answers every in-hull query conservatively by snapping
+to a precomputed grid corner; between grid lines that upper bound can
+be loose.  This module closes the gap *where traffic actually lands*:
+
+1. **Tally** — :class:`SnapTally` records, for every successful
+   ``/v1/violation`` query, the *quantized* query coordinates: α and
+   the uniquely-honest fraction rounded to the ``1/REFINE_SCALE`` grid
+   (α up, fraction down — the conservative directions), Δ rounded up
+   and k down to integers.  Quantized coordinates dominate the query
+   but are (much) closer to it than the coarse grid corner.
+2. **Refine** — :func:`refine_once` takes the hottest quantized cells
+   and runs the *exact* Section 6.6 DP at each one — the same
+   per-cell computation the offline builder uses — producing a value
+   that is a certified upper bound for every query in the cell (the
+   quantized coordinates dominate them all) yet is ≤ the base table's
+   answer (the grid corner dominates the quantized coordinates;
+   violation probability is monotone along every axis).
+3. **Publish** — the refined cells land in a fingerprinted *overlay
+   artifact* (:func:`save_overlay` / :func:`load_overlay`), a small
+   JSON file bound to the base artifact's fingerprint and written
+   atomically, so a crashed refiner never corrupts it and pre-fork
+   siblings can hot-load it mid-flight.
+4. **Serve** — :meth:`SettlementOracle.set_overlay` installs the
+   overlay with one atomic reference swap; every answer becomes
+   ``min(base, overlay)``, so refinement only ever *tightens* answers
+   and every reply remains a certified upper bound
+   (``tests/oracle/test_refine.py`` pins both directions against the
+   direct DP).
+
+:class:`RefineDaemon` runs the loop in the background: the *leader*
+(worker 0 in pre-fork mode, the only process otherwise) refines its
+tally every ``interval`` seconds and publishes; *followers* watch the
+overlay file and hot-swap when its fingerprint changes.  Sustained
+traffic therefore makes its own answers tighter while the serving hot
+path never blocks — the swap is a reference assignment.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import threading
+from collections import Counter
+
+import numpy as np
+
+from repro.analysis.exact import settlement_violation_probability
+from repro.engine.cache import ResultCache
+from repro.oracle.tables import effective_probabilities
+
+__all__ = [
+    "OVERLAY_FORMAT",
+    "OVERLAY_VERSION",
+    "REFINE_SCALE",
+    "OverlayError",
+    "RefineDaemon",
+    "SnapTally",
+    "key_coordinates",
+    "load_overlay",
+    "overlay_fingerprint",
+    "quantize_columns",
+    "quantize_key",
+    "refine_once",
+    "save_overlay",
+]
+
+#: Overlay artifact family name; foreign files are never readable.
+OVERLAY_FORMAT = "repro-settlement-oracle-overlay"
+#: Bumped on any incompatible overlay layout change.
+OVERLAY_VERSION = 1
+
+#: Quantization denominator for the α and fraction axes: refined cells
+#: live on the 1/64 grid, ~an order of magnitude finer than any
+#: realistic base-table axis.  Part of the overlay format (a different
+#: scale yields different keys, so it is checked at load time).
+REFINE_SCALE = 64
+
+
+class OverlayError(RuntimeError):
+    """A missing, foreign, corrupt, or mismatched overlay artifact."""
+
+
+# ----------------------------------------------------------------------
+# Quantization (shared with the service's overlay lookup)
+# ----------------------------------------------------------------------
+
+
+def quantize_key(
+    alpha: float, fraction: float, delta: float, depth: float
+) -> tuple[int, int, int, int]:
+    """The conservative quantized cell of one query.
+
+    α rounds **up** to the next ``1/REFINE_SCALE`` multiple, the
+    fraction **down**, Δ **up** to an integer, k **down** to an integer
+    — each the direction that makes the violation probability larger,
+    so the cell's exact DP value dominates the query's true value.
+    The post-hoc comparisons repair the sub-ulp cases where the float
+    product rounded across an integer boundary: domination is exact,
+    not merely probable.
+    """
+    qa = math.ceil(alpha * REFINE_SCALE)
+    if qa / REFINE_SCALE < alpha:
+        qa += 1
+    qf = math.floor(fraction * REFINE_SCALE)
+    if qf / REFINE_SCALE > fraction:
+        qf -= 1
+    qd = math.ceil(delta)
+    if qd < delta:
+        qd += 1
+    qk = math.floor(depth)
+    if qk > depth:
+        qk -= 1
+    return (qa, qf, int(qd), int(qk))
+
+
+def quantize_columns(
+    alphas, fractions, deltas, depths
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`quantize_key` over query columns."""
+    alphas = np.asarray(alphas, dtype=np.float64)
+    fractions = np.asarray(fractions, dtype=np.float64)
+    deltas = np.asarray(deltas, dtype=np.float64)
+    depths = np.asarray(depths, dtype=np.float64)
+    qa = np.ceil(alphas * REFINE_SCALE).astype(np.int64)
+    qa = np.where(qa / REFINE_SCALE < alphas, qa + 1, qa)
+    qf = np.floor(fractions * REFINE_SCALE).astype(np.int64)
+    qf = np.where(qf / REFINE_SCALE > fractions, qf - 1, qf)
+    qd = np.ceil(deltas).astype(np.int64)
+    qd = np.where(qd < deltas, qd + 1, qd)
+    qk = np.floor(depths).astype(np.int64)
+    qk = np.where(qk > depths, qk - 1, qk)
+    return qa, qf, qd, qk
+
+
+def key_coordinates(
+    key: tuple[int, int, int, int]
+) -> tuple[float, float, int, int]:
+    """The real coordinates a quantized key denotes."""
+    qa, qf, qd, qk = key
+    return qa / REFINE_SCALE, qf / REFINE_SCALE, int(qd), int(qk)
+
+
+# ----------------------------------------------------------------------
+# The traffic tally
+# ----------------------------------------------------------------------
+
+
+class SnapTally:
+    """Thread-safe counts of quantized query cells, hottest-first.
+
+    Fed by :class:`~repro.oracle.app.OracleApp` on every successful
+    violation query; drained by the refinement loop.  Counts are
+    cumulative — the refiner excludes already-refined keys instead of
+    resetting, so a cell's heat ranking never flickers.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Counter = Counter()
+
+    def record(
+        self, alpha: float, fraction: float, delta: float, depth: float
+    ) -> None:
+        key = quantize_key(alpha, fraction, delta, depth)
+        with self._lock:
+            self._counts[key] += 1
+
+    def record_batch(self, alphas, fractions, deltas, depths) -> None:
+        qa, qf, qd, qk = quantize_columns(alphas, fractions, deltas, depths)
+        keys = zip(qa.tolist(), qf.tolist(), qd.tolist(), qk.tolist())
+        with self._lock:
+            self._counts.update(keys)
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self._counts)
+
+    def hottest(self, count: int, exclude=frozenset()) -> list:
+        """The ``count`` most-hit quantized keys not in ``exclude``."""
+        with self._lock:
+            ranked = self._counts.most_common()
+        return [key for key, _ in ranked if key not in exclude][:count]
+
+
+# ----------------------------------------------------------------------
+# Refinement proper
+# ----------------------------------------------------------------------
+
+
+def refine_once(
+    oracle, tally: SnapTally, top: int = 16, overlay: dict | None = None
+) -> dict:
+    """Refine the ``top`` hottest not-yet-refined cells; returns the
+    merged overlay (a new dict — the input is never mutated, so the
+    serving side can keep reading the old one mid-refine).
+
+    Each new cell is one exact DP at the quantized coordinates on the
+    spec's activity — certified, by monotonicity, to upper-bound every
+    query in the cell.  Cells whose Δ-reduced law does not exist
+    (honest majority lost) or whose depth undercuts 1 are skipped:
+    the base table keeps answering those conservatively.
+    """
+    merged = dict(overlay or {})
+    activity = oracle.spec.activity
+    for key in tally.hottest(top, exclude=merged.keys()):
+        alpha, fraction, delta, depth = key_coordinates(key)
+        if depth < 1 or not 0.0 <= alpha < 0.5 or not 0.0 <= fraction <= 1.0:
+            continue
+        try:
+            law = effective_probabilities(alpha, fraction, delta, activity)
+        except ValueError:
+            continue
+        merged[key] = float(settlement_violation_probability(law, depth))
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Overlay artifacts
+# ----------------------------------------------------------------------
+
+
+def _overlay_key(payload: dict) -> dict:
+    return {
+        name: payload[name]
+        for name in (
+            "format",
+            "format_version",
+            "base_fingerprint",
+            "scale",
+            "entries",
+        )
+    }
+
+
+def overlay_fingerprint(payload: dict) -> str:
+    """SHA-256 of the overlay's canonical content (same digest
+    discipline as the base artifact and the engine's result cache)."""
+    return ResultCache.digest(_overlay_key(payload))
+
+
+def save_overlay(
+    path: str | os.PathLike, base_fingerprint: str, entries: dict
+) -> pathlib.Path:
+    """Atomically publish ``entries`` as an overlay bound to the base
+    artifact ``base_fingerprint``; returns the written path."""
+    from repro.oracle.store import write_json_atomic
+
+    path = pathlib.Path(path)
+    payload = {
+        "format": OVERLAY_FORMAT,
+        "format_version": OVERLAY_VERSION,
+        "base_fingerprint": base_fingerprint,
+        "scale": REFINE_SCALE,
+        "entries": {
+            "{},{},{},{}".format(*key): value
+            for key, value in sorted(entries.items())
+        },
+    }
+    payload["fingerprint"] = overlay_fingerprint(payload)
+    write_json_atomic(path, payload)
+    return path
+
+
+def load_overlay(
+    path: str | os.PathLike, base_fingerprint: str | None = None
+) -> dict:
+    """Load and verify an overlay; returns ``{key: value}``.
+
+    Raises :class:`OverlayError` on a missing/foreign/corrupt file, a
+    fingerprint mismatch, or (when ``base_fingerprint`` is given) an
+    overlay built against a different base artifact.
+    """
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise OverlayError(f"no readable overlay at {path}: {error}")
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != OVERLAY_FORMAT
+    ):
+        raise OverlayError(f"{path} is not a {OVERLAY_FORMAT} artifact")
+    if payload.get("format_version") != OVERLAY_VERSION:
+        raise OverlayError(
+            f"overlay at {path} has format_version "
+            f"{payload.get('format_version')}, expected {OVERLAY_VERSION}"
+        )
+    if payload.get("scale") != REFINE_SCALE:
+        raise OverlayError(
+            f"overlay at {path} uses scale {payload.get('scale')}, "
+            f"expected {REFINE_SCALE}"
+        )
+    if payload.get("fingerprint") != overlay_fingerprint(payload):
+        raise OverlayError(
+            f"overlay at {path} fails its fingerprint check "
+            "(edited, or written by an incompatible version)"
+        )
+    if (
+        base_fingerprint is not None
+        and payload.get("base_fingerprint") != base_fingerprint
+    ):
+        raise OverlayError(
+            f"overlay at {path} was built for base artifact "
+            f"{payload.get('base_fingerprint', '?')[:16]}..., not "
+            f"{base_fingerprint[:16]}..."
+        )
+    entries = {}
+    try:
+        for text, value in payload["entries"].items():
+            key = tuple(int(part) for part in text.split(","))
+            if len(key) != 4:
+                raise ValueError(text)
+            entries[key] = float(value)
+    except (AttributeError, TypeError, ValueError) as error:
+        raise OverlayError(f"overlay entries at {path} are invalid: {error}")
+    return entries
+
+
+# ----------------------------------------------------------------------
+# The background daemon
+# ----------------------------------------------------------------------
+
+
+class RefineDaemon(threading.Thread):
+    """Background refinement loop (one per serving process).
+
+    The **leader** (exactly one process per overlay path) refines its
+    tally every ``interval`` seconds, publishes the overlay
+    atomically, and installs it on its own oracle.  **Followers**
+    (pre-fork siblings) poll the file's fingerprint and hot-swap their
+    oracle's overlay when it changes.  Both start by adopting any
+    compatible overlay already on disk, so a restarted server resumes
+    its refined tier instead of re-learning it.
+    """
+
+    def __init__(
+        self,
+        oracle,
+        tally: SnapTally | None,
+        path: str | os.PathLike,
+        interval: float = 5.0,
+        top: int = 16,
+        leader: bool = True,
+        log=None,
+    ) -> None:
+        super().__init__(daemon=True, name="oracle-refine")
+        from repro.oracle.store import spec_fingerprint
+
+        if leader and tally is None:
+            raise ValueError("a leader daemon needs a tally to refine from")
+        self.oracle = oracle
+        self.tally = tally
+        self.path = pathlib.Path(path)
+        self.interval = interval
+        self.top = top
+        self.leader = leader
+        self.base_fingerprint = spec_fingerprint(oracle.spec)
+        self._log = log if log is not None else (lambda *_: None)
+        self._stop = threading.Event()
+        self._overlay: dict = {}
+        self._seen_fingerprint: str | None = None
+        self._adopt_existing()
+
+    def _adopt_existing(self) -> None:
+        if not self.path.is_file():
+            return
+        try:
+            self._overlay = load_overlay(self.path, self.base_fingerprint)
+        except OverlayError as error:
+            self._log(f"refine: ignoring overlay on disk ({error})")
+            return
+        self._seen_fingerprint = self._file_fingerprint()
+        self.oracle.set_overlay(self._overlay)
+        self._log(
+            f"refine: adopted {len(self._overlay)} refined cells from "
+            f"{self.path}"
+        )
+
+    def _file_fingerprint(self) -> str | None:
+        try:
+            return json.loads(self.path.read_text()).get("fingerprint")
+        except (OSError, ValueError, AttributeError):
+            return None
+
+    def tick(self) -> int:
+        """One refinement step; returns how many cells were added
+        (leader) or adopted (follower).  Exposed for tests and for the
+        CLI's synchronous smoke path."""
+        if self.leader:
+            return self._tick_leader()
+        return self._tick_follower()
+
+    def _tick_leader(self) -> int:
+        if self.tally.total == 0:
+            return 0
+        overlay = refine_once(
+            self.oracle, self.tally, top=self.top, overlay=self._overlay
+        )
+        added = len(overlay) - len(self._overlay)
+        if added <= 0:
+            return 0
+        save_overlay(self.path, self.base_fingerprint, overlay)
+        self._overlay = overlay
+        self._seen_fingerprint = self._file_fingerprint()
+        self.oracle.set_overlay(overlay)
+        self._log(
+            f"refine: published {added} new refined cells "
+            f"({len(overlay)} total) to {self.path}"
+        )
+        return added
+
+    def _tick_follower(self) -> int:
+        fingerprint = self._file_fingerprint()
+        if fingerprint is None or fingerprint == self._seen_fingerprint:
+            return 0
+        try:
+            overlay = load_overlay(self.path, self.base_fingerprint)
+        except OverlayError:
+            # A half-visible or foreign overlay: keep the current one.
+            return 0
+        self._seen_fingerprint = fingerprint
+        adopted = len(overlay) - len(self._overlay)
+        self._overlay = overlay
+        self.oracle.set_overlay(overlay)
+        self._log(
+            f"refine: hot-swapped overlay with {len(overlay)} cells "
+            f"from {self.path}"
+        )
+        return adopted
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.tick()
+            except Exception as error:  # keep refining on transient errors
+                self._log(f"refine: tick failed ({type(error).__name__}: "
+                          f"{error})")
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self.is_alive():
+            self.join(timeout=timeout)

@@ -1,148 +1,110 @@
-"""A stdlib JSON query server in front of :class:`SettlementOracle`.
+"""Threaded front end + serving-tier orchestration for the oracle.
 
-``ThreadingHTTPServer`` + ``BaseHTTPRequestHandler`` only — no
-third-party web framework.  The oracle itself is read-only shared state
-(mmap-backed NumPy arrays; every query is a pure ``searchsorted`` +
-gather), so concurrent handler threads need no locking.
+The routing, parsing, error contract, metrics, and refinement tally
+all live in the transport-agnostic :class:`~repro.oracle.app.OracleApp`
+— this module supplies the ``ThreadingHTTPServer`` byte shovel around
+it, plus the pieces every serving mode shares:
 
-Endpoints::
+* :func:`make_server` — the classic threaded server (one thread per
+  connection; the oracle is read-only mmap-backed state, so handler
+  threads need no locking).  It can *adopt* an already-listening
+  socket, which is how pre-fork workers share one accept queue.
+* :func:`make_listening_socket` — bind + listen without serving, the
+  socket a pre-fork parent creates once and every forked worker
+  inherits.  The kernel's shared accept queue then load-balances
+  connections across workers with no userspace coordination.
+* :func:`serve_forever` — the CLI entry.  ``mode`` selects the
+  threaded or asyncio transport (:mod:`repro.oracle.aioserver`);
+  ``workers > 1`` forks that many processes onto one listening socket,
+  each mmap-sharing the same artifact pages and labelling its metrics
+  with a ``worker`` label.  ``refine_path`` starts the tiered-artifact
+  refinement loop (:mod:`repro.oracle.refine`): worker 0 tallies
+  traffic and publishes overlay artifacts, the other workers watch the
+  overlay file's fingerprint and hot-swap it in.
 
-    GET  /healthz                        -> artifact summary (fingerprint,
-                                            axes, cell count)
-    GET  /metrics                        -> Prometheus text exposition of
-                                            the server's request metrics
-    GET  /v1/violation?alpha=&unique_fraction=&delta=&depth=
-                                         -> {"violation_probability": p,
-                                             "conservative": true}
-    GET  /v1/depth?alpha=&unique_fraction=&delta=&target=
-                                         -> {"depth": k | null,
-                                             "source": "table" |
-                                                       "analytic" | null}
-    POST /v1/violation   {"alpha": [...], "unique_fraction": [...],
-                          "delta": [...], "depth": [...]}
-                                         -> {"violation_probability": [...]}
-    POST /v1/depth       {"alpha": [...], "unique_fraction": [...],
-                          "delta": [...], "target": [...]}
-                                         -> {"depth": [...],
-                                             "source": [...]}  (-1/null =
-                                            unreachable at this horizon)
-
-Depth answers carry provenance: ``"table"`` when the exact-DP
-minimal-depth table answered, ``"analytic"`` when the table's cell is
-below the DP horizon's resolution but the certified Theorem 1 bound
-reaches the target (the depth is then that certified upper bound — a
-finite conservative answer where older servers said ``null``).
-
-Batch POST bodies are *columnar* (one array per coordinate) so the
-handler can feed them to the vectorized oracle methods unchanged — one
-NumPy gather answers the whole batch.
-
-Error contract: every non-200 body is ``{"error": <kind>, "detail":
-<message>}`` with kinds ``bad-request`` (malformed JSON, missing or
-non-numeric parameters), ``out-of-domain`` (a well-formed query outside
-the conservative hull — clients that prefer saturation can pass
-``"strict": false`` in a POST body), ``not-found``, and ``internal``
-(genuine server bugs, HTTP 500).  All of them are counted in
-``repro_oracle_errors_total{code=...}``.
-
-Telemetry: the server owns a :class:`repro.obs.metrics.MetricsRegistry`
-(pass ``registry=`` to share one), independent of the module-level
-engine switchboard — ``GET /metrics`` works even when engine metrics
-are disabled.  Per-request it counts
-``repro_oracle_requests_total{route,method,code}``, observes
-``repro_oracle_request_seconds{route}``, and, when not ``quiet``,
-writes one structured JSON access-log line per request to stderr.
+Routes, the structured error contract, and telemetry are documented on
+:class:`OracleApp`; both transports return byte-identical JSON bodies
+on every route because the bodies are produced once, in the app.
 """
 
 from __future__ import annotations
 
-import json
+import contextlib
+import os
+import signal
+import socket
 import sys
-import time
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import urlsplit
 
 from repro.obs.metrics import MetricsRegistry
-from repro.oracle.service import OracleDomainError, SettlementOracle
+from repro.oracle.app import (
+    DEFAULT_MAX_BODY_BYTES,
+    OracleApp,
+    Response,
+    request_clock,
+)
+from repro.oracle.service import SettlementOracle
 
-__all__ = ["make_server", "serve_forever"]
+__all__ = [
+    "make_listening_socket",
+    "make_server",
+    "serve_forever",
+]
 
-_SINGLE_PARAMS = {
-    "/v1/violation": ("alpha", "unique_fraction", "delta", "depth"),
-    "/v1/depth": ("alpha", "unique_fraction", "delta", "target"),
-}
-
-#: Paths that may appear as a ``route`` label; anything else is folded
-#: into ``"other"`` so scanners cannot inflate label cardinality.
-_ROUTES = frozenset(_SINGLE_PARAMS) | {"/healthz", "/metrics"}
-
-
-def _single_answer(
-    oracle: SettlementOracle, path: str, params: dict
-) -> dict:
-    names = _SINGLE_PARAMS[path]
-    values = []
-    for name in names:
-        raw = params.get(name)
-        if raw is None:
-            required = ", ".join(names)
-            raise ValueError(f"missing parameter {name!r} (need: {required})")
-        values.append(float(raw[0] if isinstance(raw, list) else raw))
-    alpha, fraction, delta, last = values
-    if path == "/v1/violation":
-        probability = oracle.violation_probability(
-            alpha, fraction, delta, last
-        )
-        return {"violation_probability": probability, "conservative": True}
-    depth, source = oracle.settlement_depth_with_source(
-        alpha, fraction, delta, last
-    )
-    return {"depth": depth, "source": source, "conservative": True}
+#: The serving transports ``serve_forever`` (and the CLI) accept.
+SERVING_MODES = ("threaded", "async")
 
 
-def _batch_answer(oracle: SettlementOracle, path: str, body: dict) -> dict:
-    names = _SINGLE_PARAMS[path]
-    columns = []
-    for name in names:
-        column = body.get(name)
-        if not isinstance(column, list) or not column:
-            required = ", ".join(names)
-            raise ValueError(
-                f"batch body needs non-empty array {name!r} "
-                f"(columnar arrays: {required})"
-            )
-        columns.append(column)
-    if len({len(column) for column in columns}) != 1:
-        raise ValueError("batch columns must have equal lengths")
-    strict = bool(body.get("strict", True))
-    if path == "/v1/violation":
-        values = oracle.violation_probabilities(*columns, strict=strict)
-        return {"violation_probability": [float(v) for v in values]}
-    depths, sources = oracle.settlement_depths_with_source(
-        *columns, strict=strict
-    )
-    return {"depth": [int(v) for v in depths], "source": sources}
+def make_listening_socket(
+    host: str = "127.0.0.1", port: int = 0, backlog: int = 128
+) -> socket.socket:
+    """Bind + listen without serving (``port=0`` picks an ephemeral
+    port).  A pre-fork parent creates this once; forked workers inherit
+    the descriptor and ``accept`` from the one shared kernel queue —
+    no ``SO_REUSEPORT`` (which would strand queued connections when a
+    worker dies) and no userspace load balancer.
+    """
+    sock = socket.create_server((host, port), backlog=backlog)
+    sock.set_inheritable(True)
+    return sock
 
 
 def make_server(
-    oracle: SettlementOracle,
+    oracle: SettlementOracle | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
     registry: MetricsRegistry | None = None,
+    *,
+    app: OracleApp | None = None,
+    sock: socket.socket | None = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    worker_label: str | None = None,
+    tally=None,
 ) -> ThreadingHTTPServer:
-    """Build (and bind, but do not start) the query server.
+    """Build (and bind, but do not start) the threaded query server.
 
-    ``port=0`` binds an ephemeral port; read the actual one from
-    ``server.server_address[1]``.  ``quiet`` silences the per-request
-    stderr access-log lines (the default for tests and embedded use).
-    ``registry`` shares a metrics registry with the caller; by default
-    the server creates its own (exposed as ``server.registry``).
+    Either pass ``oracle`` (an :class:`OracleApp` is built around it —
+    the historical signature) or a prebuilt ``app``.  ``port=0`` binds
+    an ephemeral port; read the actual one from
+    ``server.server_address[1]``.  ``sock`` adopts an existing
+    *listening* socket instead of binding — the pre-fork path.  The
+    shared app is exposed as ``server.app`` and its metrics registry as
+    ``server.registry``.
     """
-
-    health = {"status": "ok", **oracle.describe()}
-    if registry is None:
-        registry = MetricsRegistry()
+    if app is None:
+        if oracle is None:
+            raise TypeError("make_server needs an oracle or an app")
+        app = OracleApp(
+            oracle,
+            registry=registry,
+            quiet=quiet,
+            max_body_bytes=max_body_bytes,
+            worker_label=worker_label,
+            tally=tally,
+        )
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
@@ -151,41 +113,16 @@ def make_server(
         # keep-alive response on Linux.
         disable_nagle_algorithm = True
 
-        def send_response(self, code: int, message: str | None = None) -> None:
-            self._status = code
-            super().send_response(code, message)
-
-        def _reply(
-            self,
-            code: int,
-            payload,
-            content_type: str = "application/json",
-        ) -> None:
-            body = (
-                payload
-                if isinstance(payload, bytes)
-                else json.dumps(payload).encode()
-            )
-            self.send_response(code)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
+        def _respond(self, response: Response, close: bool = False) -> None:
+            if close:
+                self.close_connection = True
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            if close:
+                self.send_header("Connection", "close")
             self.end_headers()
-            self.wfile.write(body)
-
-        def _error(self, code: int, kind: str, detail: str) -> None:
-            self._reply(code, {"error": kind, "detail": detail})
-
-        def _guarded(self, answer) -> None:
-            try:
-                self._reply(200, answer())
-            except OracleDomainError as error:
-                self._error(400, "out-of-domain", str(error))
-            except ValueError as error:
-                self._error(400, "bad-request", str(error))
-            except Exception as error:  # never kill the thread
-                self._error(
-                    500, "internal", f"{type(error).__name__}: {error}"
-                )
+            self.wfile.write(response.body)
 
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
             self._serve("GET")
@@ -194,87 +131,125 @@ def make_server(
             self._serve("POST")
 
         def _serve(self, method: str) -> None:
-            split = urlsplit(self.path)
-            route = split.path if split.path in _ROUTES else "other"
-            self._status = 500  # replaced by the first send_response
-            started = time.perf_counter()
+            started = request_clock()
+            status = 500  # only survives if responding itself raised
             try:
-                self._dispatch(method, split)
+                if method == "POST":
+                    status = self._post_response().status
+                else:
+                    response = app.handle("GET", self.path)
+                    status = response.status
+                    self._respond(response)
             finally:
-                elapsed = time.perf_counter() - started
-                code = str(self._status)
-                registry.counter(
-                    "repro_oracle_requests_total",
-                    "requests served, by route/method/status",
-                    route=route,
-                    method=method,
-                    code=code,
-                ).inc()
-                registry.histogram(
-                    "repro_oracle_request_seconds",
-                    "request handling latency by route",
-                    route=route,
-                ).observe(elapsed)
-                if self._status >= 400:
-                    registry.counter(
-                        "repro_oracle_errors_total",
-                        "error responses, by status code",
-                        code=code,
-                    ).inc()
-                if not quiet:
-                    print(
-                        json.dumps(
-                            {
-                                "client": self.client_address[0],
-                                "method": method,
-                                "path": split.path,
-                                "code": self._status,
-                                "duration_ms": round(elapsed * 1000, 3),
-                            }
-                        ),
-                        file=sys.stderr,
-                        flush=True,
-                    )
+                app.observe(
+                    method,
+                    urlsplit(self.path).path,
+                    status,
+                    request_clock() - started,
+                    client=self.client_address[0],
+                )
 
-        def _dispatch(self, method: str, split) -> None:
-            if method == "GET":
-                if split.path == "/healthz":
-                    self._reply(200, health)
-                    return
-                if split.path == "/metrics":
-                    self._reply(
-                        200,
-                        registry.render().encode(),
-                        content_type="text/plain; version=0.0.4",
-                    )
-                    return
-                if split.path in _SINGLE_PARAMS:
-                    params = parse_qs(split.query)
-                    self._guarded(
-                        lambda: _single_answer(oracle, split.path, params)
-                    )
-                    return
-                self._error(404, "not-found", f"unknown path {split.path!r}")
-                return
-            if split.path not in _SINGLE_PARAMS:
-                self._error(404, "not-found", f"unknown path {split.path!r}")
-                return
+        def _post_response(self) -> Response:
+            """Run the transport-side body checks, answer, and return
+            the response (for ``_serve``'s accounting)."""
+            if self.headers.get("Transfer-Encoding"):
+                response = app.unsupported_transfer_encoding()
+                self._respond(response, close=True)
+                return response
+            raw = self.headers.get("Content-Length", "0")
             try:
-                length = int(self.headers.get("Content-Length", "0"))
-                body = json.loads(self.rfile.read(length) or b"{}")
-                if not isinstance(body, dict):
-                    raise ValueError("batch body must be a JSON object")
-            except (ValueError, json.JSONDecodeError) as error:
-                self._error(400, "bad-request", f"bad request body: {error}")
-                return
-            self._guarded(lambda: _batch_answer(oracle, split.path, body))
+                length = int(raw)
+                if length < 0:
+                    raise ValueError(length)
+            except ValueError:
+                response = app.bad_content_length(raw)
+                self._respond(response, close=True)
+                return response
+            if length > app.max_body_bytes:
+                # Reject on the header alone — the body is never read,
+                # so the keep-alive framing is gone and the connection
+                # must close.
+                response = app.too_large(length)
+                self._respond(response, close=True)
+                return response
+            body = self.rfile.read(length) if length else b""
+            response = app.handle("POST", self.path, body)
+            self._respond(response)
+            return response
 
         def log_message(self, format, *args):  # noqa: A002
-            pass  # replaced by the structured access log in _serve.
+            pass  # replaced by the app's structured access log.
 
-    server = ThreadingHTTPServer((host, port), Handler)
-    server.registry = registry
+    if sock is None:
+        server = ThreadingHTTPServer((host, port), Handler)
+    else:
+        server = ThreadingHTTPServer(
+            sock.getsockname()[:2], Handler, bind_and_activate=False
+        )
+        server.socket.close()  # the unused auto-created one
+        server.socket = sock
+        server.server_address = sock.getsockname()
+        server.server_name, server.server_port = server.server_address[:2]
+    server.app = app
+    server.registry = app.registry
     return server
+
+
+def _worker_main(
+    oracle: SettlementOracle,
+    sock: socket.socket,
+    mode: str,
+    quiet: bool,
+    max_body_bytes: int,
+    worker_label: str | None,
+    refine_path,
+    refine_interval: float,
+    refine_top: int,
+    leader: bool,
+) -> None:
+    """Serve ``sock`` with one app until interrupted — the body of a
+    pre-fork worker process (and of single-process serving)."""
+    tally = None
+    daemon = None
+    if refine_path is not None and leader:
+        from repro.oracle.refine import SnapTally
+
+        tally = SnapTally()
+    app = OracleApp(
+        oracle,
+        quiet=quiet,
+        max_body_bytes=max_body_bytes,
+        worker_label=worker_label,
+        tally=tally,
+    )
+    if refine_path is not None:
+        from repro.oracle.refine import RefineDaemon
+
+        daemon = RefineDaemon(
+            oracle,
+            tally,
+            refine_path,
+            interval=refine_interval,
+            top=refine_top,
+            leader=leader,
+        )
+        daemon.start()
+    try:
+        if mode == "async":
+            from repro.oracle.aioserver import AsyncHTTPServer
+
+            AsyncHTTPServer(app, sock=sock).run()
+        else:
+            server = make_server(app=app, sock=sock)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+    finally:
+        if daemon is not None:
+            daemon.stop()
 
 
 def serve_forever(
@@ -283,17 +258,94 @@ def serve_forever(
     port: int = 8080,
     quiet: bool = False,
     announce=print,
+    *,
+    mode: str = "threaded",
+    workers: int = 1,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    refine_path=None,
+    refine_interval: float = 5.0,
+    refine_top: int = 16,
 ) -> None:
-    """Bind and serve until interrupted (the CLI ``serve`` verb)."""
-    server = make_server(oracle, host, port, quiet=quiet)
-    bound_host, bound_port = server.server_address[:2]
+    """Bind and serve until interrupted (the CLI ``serve`` verb).
+
+    ``mode`` is ``"threaded"`` or ``"async"``; ``workers > 1`` forks
+    that many worker processes sharing the listening socket (worker 0
+    leads refinement when ``refine_path`` is set, the rest follow the
+    overlay file).  All workers mmap-share the parent's artifact pages.
+    """
+    if mode not in SERVING_MODES:
+        raise ValueError(f"mode must be one of {SERVING_MODES}, got {mode!r}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    sock = make_listening_socket(host, port)
+    bound_host, bound_port = sock.getsockname()[:2]
+    refined = f", refine={refine_path}" if refine_path is not None else ""
     announce(
         f"settlement oracle serving {oracle.describe()['cells']} cells "
-        f"on http://{bound_host}:{bound_port} (Ctrl-C to stop)"
+        f"on http://{bound_host}:{bound_port} "
+        f"(mode={mode}, workers={workers}{refined}) (Ctrl-C to stop)"
     )
+    if workers == 1:
+        try:
+            _worker_main(
+                oracle,
+                sock,
+                mode=mode,
+                quiet=quiet,
+                max_body_bytes=max_body_bytes,
+                worker_label=None,
+                refine_path=refine_path,
+                refine_interval=refine_interval,
+                refine_top=refine_top,
+                leader=True,
+            )
+        finally:
+            sock.close()
+        return
+    children = []
+    for index in range(workers):
+        pid = os.fork()
+        if pid == 0:
+            status = 0
+            try:
+                _worker_main(
+                    oracle,
+                    sock,
+                    mode=mode,
+                    quiet=quiet,
+                    max_body_bytes=max_body_bytes,
+                    worker_label=str(index),
+                    refine_path=refine_path,
+                    refine_interval=refine_interval,
+                    refine_top=refine_top,
+                    leader=index == 0,
+                )
+            except KeyboardInterrupt:
+                pass
+            except BaseException:
+                traceback.print_exc(file=sys.stderr)
+                status = 1
+            finally:
+                # Never let a worker fall back into the parent's stack.
+                os._exit(status)
+        children.append(pid)
+    sock.close()  # workers hold the only live descriptors now
+
+    def _forward_term(signum, frame):
+        # A SIGTERM to the parent must not orphan the workers: route it
+        # through the same shutdown path Ctrl-C takes.
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _forward_term)
     try:
-        server.serve_forever()
+        for pid in children:
+            os.waitpid(pid, 0)
     except KeyboardInterrupt:
-        pass
+        for pid in children:
+            with contextlib.suppress(ProcessLookupError):
+                os.kill(pid, signal.SIGTERM)
+        for pid in children:
+            with contextlib.suppress(ChildProcessError, OSError):
+                os.waitpid(pid, 0)
     finally:
-        server.server_close()
+        signal.signal(signal.SIGTERM, previous)

@@ -56,6 +56,18 @@ the table; by default they raise :class:`OracleDomainError`.  With
 (probability ``1.0``; depth ``-1`` = "not achievable at this table's
 horizon" — the same sentinel the table uses for unreachable targets).
 
+**Refinement overlays.**  :meth:`~SettlementOracle.set_overlay`
+installs a tier of *refined cells* — exact DP values at quantized
+query coordinates, built from real traffic by
+:mod:`repro.oracle.refine` — with one atomic reference swap.  With an
+overlay installed, every violation answer becomes ``min(base,
+overlay[quantized cell])``: the overlay value is itself a certified
+upper bound for every query in its cell (the quantized coordinates
+dominate the query) and is ≤ the base answer (the grid corner
+dominates the quantized coordinates), so refinement only ever
+*tightens* answers without ever breaking the upper-bound guarantee.
+Without an overlay (the default) the query paths are untouched.
+
 All queries come in scalar and vectorized-batch forms; the batch forms
 are pure NumPy (``searchsorted`` + fancy indexing) and answer hundreds
 of thousands of queries per second (the ``oracle`` record in
@@ -129,6 +141,12 @@ class SettlementOracle:
         self._delta_list = [float(d) for d in spec.deltas]
         self._depth_list = [float(k) for k in spec.depths]
         self._target_list_ascending = [float(t) for t in spec.targets[::-1]]
+        # Refined-cell overlay (quantized key -> certified DP value);
+        # ``None`` keeps the query paths overlay-free.  Installed and
+        # replaced wholesale by :meth:`set_overlay` — a single
+        # reference assignment, so readers on other threads see either
+        # the old tier or the new one, never a half-swap.
+        self._overlay: dict | None = None
 
     @classmethod
     def load(
@@ -170,6 +188,25 @@ class SettlementOracle:
                 ).sum()
             ),
         }
+
+    # -- refinement overlay --------------------------------------------
+
+    def set_overlay(self, overlay: dict | None) -> None:
+        """Atomically install (or clear) a refined-cell overlay.
+
+        ``overlay`` maps quantized cells — the
+        :func:`repro.oracle.refine.quantize_key` tuples — to certified
+        exact-DP violation probabilities.  The dict is copied, so the
+        caller may keep mutating its own; the swap itself is one
+        reference assignment and needs no lock.
+        """
+        self._overlay = dict(overlay) if overlay else None
+
+    @property
+    def overlay_size(self) -> int:
+        """How many refined cells the installed overlay holds."""
+        overlay = self._overlay
+        return len(overlay) if overlay is not None else 0
 
     # -- query plumbing ------------------------------------------------
 
@@ -241,8 +278,28 @@ class SettlementOracle:
                 f"depth {int(self._depths[0])}"
             )
         ki = np.maximum(ki, 0)
+        saturated = invalid | shallow
         values = np.asarray(self.tables.forward)[ai, fi, di, ki]
-        values = np.where(invalid | shallow, 1.0, values)
+        values = np.where(saturated, 1.0, values)
+        overlay = self._overlay
+        if overlay is not None:
+            from repro.oracle.refine import quantize_columns
+
+            qa, qf, qd, qk = quantize_columns(
+                alphas, fractions, deltas, depth_values
+            )
+            get = overlay.get
+            skip = saturated.tolist()
+            for index, key in enumerate(
+                zip(qa.tolist(), qf.tolist(), qd.tolist(), qk.tolist())
+            ):
+                # Saturated rows keep 1.0 (matching the scalar path's
+                # early return); only in-hull answers are tightened.
+                if skip[index]:
+                    continue
+                refined = get(key)
+                if refined is not None and refined < values[index]:
+                    values[index] = refined
         return values
 
     def _scalar_cell(
@@ -306,7 +363,17 @@ class SettlementOracle:
         if cell is None:
             return 1.0
         ai, fi, di = cell
-        return float(self.tables.forward[ai, fi, di, ki])
+        value = float(self.tables.forward[ai, fi, di, ki])
+        overlay = self._overlay
+        if overlay is not None:
+            from repro.oracle.refine import quantize_key
+
+            refined = overlay.get(
+                quantize_key(alpha, unique_fraction, delta, depth)
+            )
+            if refined is not None and refined < value:
+                value = refined
+        return value
 
     # -- inverse queries: (alpha, fraction, delta, target) -> depth ----
 

@@ -55,6 +55,7 @@ __all__ = [
     "save_tables",
     "spec_fingerprint",
     "spec_key",
+    "write_json_atomic",
 ]
 
 #: Artifact family name; a different format is never silently readable.
@@ -145,6 +146,23 @@ def _atomic_replace(
         except OSError:
             pass
         raise
+
+
+def write_json_atomic(target: str | os.PathLike, payload: dict) -> None:
+    """Publish ``payload`` as canonical JSON at ``target`` atomically.
+
+    The same temporary-plus-rename discipline every base-artifact file
+    uses, exposed for the sibling artifacts that live next to a table
+    directory — the refinement overlay (:mod:`repro.oracle.refine`)
+    publishes through this, so serving processes polling the file can
+    never observe half-written bytes.
+    """
+    target = pathlib.Path(target)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    _atomic_replace(
+        target.parent, target, lambda handle: handle.write(text), binary=False
+    )
 
 
 def save_tables(

@@ -1,0 +1,313 @@
+"""Refinement: quantization soundness, overlays, and the daemon.
+
+The refinement tier's certificate rests on two dominations pinned
+here: the quantized coordinates of a query dominate the query (so the
+exact DP at the quantized cell upper-bounds the query's true value),
+and the base grid corner dominates the quantized coordinates (so the
+refined value never exceeds the base table's answer).  Serving
+``min(base, overlay)`` therefore only ever *tightens* answers while
+every reply remains a certified upper bound — asserted against the
+direct Section 6.6 DP on a golden query set.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.exact import settlement_violation_probability
+from repro.oracle.refine import (
+    OverlayError,
+    REFINE_SCALE,
+    RefineDaemon,
+    SnapTally,
+    key_coordinates,
+    load_overlay,
+    quantize_columns,
+    quantize_key,
+    refine_once,
+    save_overlay,
+)
+from repro.oracle.service import SettlementOracle
+from repro.oracle.store import save_tables, spec_fingerprint
+from repro.oracle.tables import (
+    OracleSpec,
+    build_tables,
+    effective_probabilities,
+)
+
+SPEC = OracleSpec(
+    alphas=(0.1, 0.2, 0.3),
+    unique_fractions=(0.5, 1.0),
+    deltas=(0, 2),
+    depths=(5, 10, 20),
+    targets=(1e-1, 1e-2),
+    activity=0.05,
+)
+
+#: Off-grid, in-hull queries (α, fraction, Δ, k) — none lies on a grid
+#: line of SPEC, so every base answer snaps conservatively.
+GOLDEN_QUERIES = (
+    (0.13, 0.83, 1, 7),
+    (0.11, 0.97, 0, 6),
+    (0.22, 0.71, 1, 12),
+    (0.27, 0.55, 0, 9),
+    (0.17, 0.64, 1, 17),
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return build_tables(SPEC).tables
+
+
+@pytest.fixture()
+def oracle(tables):
+    return SettlementOracle(tables)
+
+
+def _fed_tally(queries=GOLDEN_QUERIES):
+    tally = SnapTally()
+    for query in queries:
+        tally.record(*query)
+    return tally
+
+
+class TestQuantization:
+    @pytest.mark.parametrize("query", GOLDEN_QUERIES)
+    def test_quantized_coordinates_dominate_query(self, query):
+        alpha, fraction, delta, depth = query
+        qalpha, qfraction, qdelta, qdepth = key_coordinates(
+            quantize_key(*query)
+        )
+        assert qalpha >= alpha
+        assert qfraction <= fraction
+        assert qdelta >= delta
+        assert qdepth <= depth
+
+    @pytest.mark.parametrize("query", GOLDEN_QUERIES)
+    def test_quantization_is_close(self, query):
+        alpha, fraction, _, _ = query
+        qalpha, qfraction, _, _ = key_coordinates(quantize_key(*query))
+        assert qalpha - alpha <= 1.0 / REFINE_SCALE
+        assert fraction - qfraction <= 1.0 / REFINE_SCALE
+
+    def test_grid_points_are_fixed_points(self):
+        key = quantize_key(8 / REFINE_SCALE, 40 / REFINE_SCALE, 2, 10)
+        assert key == (8, 40, 2, 10)
+        assert quantize_key(*key_coordinates(key)) == key
+
+    def test_columns_agree_with_scalar(self):
+        alphas, fractions, deltas, depths = zip(*GOLDEN_QUERIES)
+        qa, qf, qd, qk = quantize_columns(alphas, fractions, deltas, depths)
+        vectorized = list(zip(qa.tolist(), qf.tolist(), qd.tolist(), qk.tolist()))
+        assert vectorized == [quantize_key(*query) for query in GOLDEN_QUERIES]
+
+    def test_sub_ulp_products_still_dominate(self):
+        # 0.29 * 64 = 18.56 is fine, but some floats land a hair under
+        # their true multiple; sweep a dense range and demand exact
+        # domination everywhere.
+        for step in range(1, 3000):
+            alpha = step / 6173.0  # irregular denominators
+            qa, qf, _, _ = quantize_key(alpha, 1.0 - alpha, 0, 5)
+            assert qa / REFINE_SCALE >= alpha
+            assert qf / REFINE_SCALE <= 1.0 - alpha
+
+
+class TestSnapTally:
+    def test_hottest_orders_by_count(self):
+        tally = SnapTally()
+        for _ in range(3):
+            tally.record(*GOLDEN_QUERIES[0])
+        tally.record(*GOLDEN_QUERIES[1])
+        hottest = tally.hottest(2)
+        assert hottest[0] == quantize_key(*GOLDEN_QUERIES[0])
+        assert hottest[1] == quantize_key(*GOLDEN_QUERIES[1])
+        assert tally.total == 4
+
+    def test_hottest_excludes_refined_keys(self):
+        tally = _fed_tally()
+        first = quantize_key(*GOLDEN_QUERIES[0])
+        remaining = tally.hottest(10, exclude={first})
+        assert first not in remaining
+        assert len(remaining) == len(GOLDEN_QUERIES) - 1
+
+    def test_batch_recording_matches_scalar(self):
+        scalar, batch = SnapTally(), SnapTally()
+        for query in GOLDEN_QUERIES:
+            scalar.record(*query)
+        batch.record_batch(*zip(*GOLDEN_QUERIES))
+        assert scalar.snapshot() == batch.snapshot()
+
+
+class TestRefineOnce:
+    def test_refined_values_match_direct_dp(self, oracle):
+        overlay = refine_once(oracle, _fed_tally(), top=len(GOLDEN_QUERIES))
+        assert len(overlay) == len(GOLDEN_QUERIES)
+        for key, value in overlay.items():
+            alpha, fraction, delta, depth = key_coordinates(key)
+            law = effective_probabilities(
+                alpha, fraction, delta, SPEC.activity
+            )
+            assert value == settlement_violation_probability(law, depth)
+
+    def test_existing_entries_are_kept_not_recomputed(self, oracle):
+        tally = _fed_tally()
+        first = refine_once(oracle, tally, top=2)
+        second = refine_once(oracle, tally, top=10, overlay=first)
+        assert set(first) <= set(second)
+        assert all(second[key] == value for key, value in first.items())
+        assert first is not second  # the serving copy is never mutated
+
+    def test_unrefinable_cells_are_skipped(self, oracle):
+        tally = SnapTally()
+        tally.record(0.49, 0.5, 0, 5)  # honest majority lost after Δ=0 cut?
+        tally.record(0.1, 1.0, 0, 0.4)  # depth quantizes to 0
+        overlay = refine_once(oracle, tally, top=10)
+        assert all(key[3] >= 1 for key in overlay)
+
+
+class TestOverlayArtifact:
+    def test_round_trip(self, oracle, tmp_path):
+        entries = refine_once(oracle, _fed_tally(), top=3)
+        fingerprint = spec_fingerprint(oracle.spec)
+        path = save_overlay(tmp_path / "overlay.json", fingerprint, entries)
+        assert load_overlay(path, fingerprint) == entries
+
+    def test_tampered_overlay_is_rejected(self, oracle, tmp_path):
+        entries = refine_once(oracle, _fed_tally(), top=1)
+        path = save_overlay(
+            tmp_path / "overlay.json", spec_fingerprint(oracle.spec), entries
+        )
+        payload = json.loads(path.read_text())
+        key = next(iter(payload["entries"]))
+        payload["entries"][key] = 0.0  # an attacker-tightened answer
+        path.write_text(json.dumps(payload))
+        with pytest.raises(OverlayError, match="fingerprint"):
+            load_overlay(path)
+
+    def test_foreign_base_is_rejected(self, oracle, tmp_path):
+        entries = refine_once(oracle, _fed_tally(), top=1)
+        path = save_overlay(
+            tmp_path / "overlay.json", spec_fingerprint(oracle.spec), entries
+        )
+        with pytest.raises(OverlayError, match="base artifact"):
+            load_overlay(path, "0" * 64)
+
+    def test_missing_file_is_an_overlay_error(self, tmp_path):
+        with pytest.raises(OverlayError, match="no readable overlay"):
+            load_overlay(tmp_path / "absent.json")
+
+
+class TestServingWithOverlay:
+    def test_overlay_tightens_within_certified_bounds(self, oracle):
+        base = [
+            oracle.violation_probability(*query) for query in GOLDEN_QUERIES
+        ]
+        overlay = refine_once(oracle, _fed_tally(), top=len(GOLDEN_QUERIES))
+        oracle.set_overlay(overlay)
+        for query, base_value in zip(GOLDEN_QUERIES, base):
+            refined = oracle.violation_probability(*query)
+            law = effective_probabilities(
+                query[0], query[1], query[2], SPEC.activity
+            )
+            exact = settlement_violation_probability(law, query[3])
+            # Monotone tightening, still a certified upper bound.
+            assert refined <= base_value
+            assert refined >= exact
+            assert refined < base_value  # off-grid: strictly tighter here
+
+    def test_scalar_and_batch_agree_under_overlay(self, oracle):
+        oracle.set_overlay(
+            refine_once(oracle, _fed_tally(), top=len(GOLDEN_QUERIES))
+        )
+        batch = oracle.violation_probabilities(*zip(*GOLDEN_QUERIES))
+        scalar = [
+            oracle.violation_probability(*query) for query in GOLDEN_QUERIES
+        ]
+        assert batch.tolist() == scalar
+
+    def test_grid_point_answers_are_untouched(self, oracle):
+        on_grid = (0.2, 1.0, 0, 10)
+        before = oracle.violation_probability(*on_grid)
+        oracle.set_overlay(
+            refine_once(oracle, _fed_tally(), top=len(GOLDEN_QUERIES))
+        )
+        assert oracle.violation_probability(*on_grid) == before
+
+    def test_clearing_the_overlay_restores_base_answers(self, oracle):
+        base = oracle.violation_probability(*GOLDEN_QUERIES[0])
+        oracle.set_overlay(refine_once(oracle, _fed_tally(), top=1))
+        oracle.set_overlay(None)
+        assert oracle.overlay_size == 0
+        assert oracle.violation_probability(*GOLDEN_QUERIES[0]) == base
+
+
+class TestRefineDaemon:
+    def test_leader_tick_publishes_and_installs(self, oracle, tmp_path):
+        path = tmp_path / "overlay.json"
+        daemon = RefineDaemon(oracle, _fed_tally(), path, leader=True, top=3)
+        added = daemon.tick()
+        assert added == 3
+        assert oracle.overlay_size == 3
+        assert path.is_file()
+        # The cumulative tally keeps feeding later ticks until every
+        # tallied cell is refined; then ticks become no-ops.
+        assert daemon.tick() == len(GOLDEN_QUERIES) - 3
+        assert daemon.tick() == 0
+        assert oracle.overlay_size == len(GOLDEN_QUERIES)
+
+    def test_leader_without_traffic_is_a_noop(self, oracle, tmp_path):
+        daemon = RefineDaemon(
+            oracle, SnapTally(), tmp_path / "overlay.json", leader=True
+        )
+        assert daemon.tick() == 0
+        assert not (tmp_path / "overlay.json").exists()
+
+    def test_leader_requires_a_tally(self, oracle, tmp_path):
+        with pytest.raises(ValueError, match="tally"):
+            RefineDaemon(oracle, None, tmp_path / "overlay.json", leader=True)
+
+    def test_follower_hot_swaps_on_publish(self, tables, tmp_path):
+        leader_oracle = SettlementOracle(tables)
+        follower_oracle = SettlementOracle(tables)
+        path = tmp_path / "overlay.json"
+        leader = RefineDaemon(
+            leader_oracle, _fed_tally(), path, leader=True, top=2
+        )
+        follower = RefineDaemon(follower_oracle, None, path, leader=False)
+        assert follower.tick() == 0  # nothing published yet
+        leader.tick()
+        assert follower.tick() == 2
+        query = GOLDEN_QUERIES[0]
+        assert follower_oracle.violation_probability(*query) == (
+            leader_oracle.violation_probability(*query)
+        )
+        # Same fingerprint again: no re-adoption.
+        assert follower.tick() == 0
+
+    def test_restart_adopts_published_overlay(self, tables, tmp_path):
+        path = tmp_path / "overlay.json"
+        first = SettlementOracle(tables)
+        RefineDaemon(first, _fed_tally(), path, leader=True, top=2).tick()
+        restarted = SettlementOracle(tables)
+        RefineDaemon(restarted, SnapTally(), path, leader=True)
+        assert restarted.overlay_size == 2
+
+    def test_foreign_overlay_on_disk_is_ignored(self, tables, tmp_path):
+        path = tmp_path / "overlay.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        restarted = SettlementOracle(tables)
+        RefineDaemon(restarted, SnapTally(), path, leader=True)
+        assert restarted.overlay_size == 0
+
+    def test_overlay_survives_artifact_round_trip(self, tables, tmp_path):
+        """The daemon binds overlays to the *spec* fingerprint, so an
+        oracle re-loaded from a saved artifact adopts them too."""
+        artifact = tmp_path / "artifact"
+        save_tables(tables, artifact)
+        loaded = SettlementOracle.load(artifact)
+        path = tmp_path / "overlay.json"
+        RefineDaemon(loaded, _fed_tally(), path, leader=True, top=1).tick()
+        reloaded = SettlementOracle.load(artifact)
+        RefineDaemon(reloaded, None, path, leader=False)
+        assert reloaded.overlay_size == 1

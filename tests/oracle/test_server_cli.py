@@ -8,6 +8,7 @@ import urllib.request
 import pytest
 
 from repro.analysis.exact import settlement_violation_probability
+from repro.oracle import app as app_module
 from repro.oracle import cli
 from repro.oracle.server import make_server
 from repro.oracle.service import SettlementOracle
@@ -151,6 +152,40 @@ class TestServer:
         assert payload["error"] == "bad-request"
         assert "bad request body" in payload["detail"]
 
+    def test_non_boolean_strict_is_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                f"{endpoint}/v1/violation",
+                {
+                    "alpha": [0.1],
+                    "unique_fraction": [1.0],
+                    "delta": [0],
+                    "depth": [5],
+                    "strict": "false",  # truthy string, not a boolean
+                },
+            )
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"] == "bad-request"
+        assert "JSON boolean" in payload["detail"]
+
+    def test_oversized_body_is_structured_413(self, endpoint):
+        request = urllib.request.Request(
+            f"{endpoint}/v1/violation",
+            data=b"{}",
+            headers={
+                "Content-Type": "application/json",
+                # Lie upward: the limit check runs on the header alone.
+                "Content-Length": str(app_module.DEFAULT_MAX_BODY_BYTES + 1),
+            },
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 413
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"] == "too-large"
+        assert str(app_module.DEFAULT_MAX_BODY_BYTES) in payload["detail"]
+
     def test_metrics_endpoint_counts_requests(self, endpoint):
         _get(f"{endpoint}/healthz")
         _get(
@@ -276,3 +311,58 @@ class TestCli:
     def test_info_on_missing_artifact(self, tmp_path, capsys):
         assert cli.main(["info", str(tmp_path / "missing")]) == 2
         assert "artifact" in capsys.readouterr().err
+
+    def test_serve_flags_reach_serve_forever(
+        self, tables, tmp_path, monkeypatch
+    ):
+        artifact = tmp_path / "artifact"
+        save_tables(tables, artifact)
+        captured = {}
+        monkeypatch.setattr(
+            cli,
+            "serve_forever",
+            lambda oracle, **kwargs: captured.update(kwargs),
+        )
+        assert (
+            cli.main(
+                [
+                    "serve",
+                    str(artifact),
+                    "--port",
+                    "0",
+                    "--quiet",
+                    "--mode",
+                    "async",
+                    "--workers",
+                    "3",
+                    "--max-body-bytes",
+                    "1024",
+                    "--refine",
+                    "--refine-interval",
+                    "0.5",
+                    "--refine-top",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert captured["mode"] == "async"
+        assert captured["workers"] == 3
+        assert captured["max_body_bytes"] == 1024
+        assert captured["refine_path"] == str(artifact / "overlay.json")
+        assert captured["refine_interval"] == 0.5
+        assert captured["refine_top"] == 4
+
+    def test_serve_refine_defaults_off(self, tables, tmp_path, monkeypatch):
+        artifact = tmp_path / "artifact"
+        save_tables(tables, artifact)
+        captured = {}
+        monkeypatch.setattr(
+            cli,
+            "serve_forever",
+            lambda oracle, **kwargs: captured.update(kwargs),
+        )
+        assert cli.main(["serve", str(artifact), "--port", "0"]) == 0
+        assert captured["mode"] == "threaded"
+        assert captured["workers"] == 1
+        assert captured["refine_path"] is None

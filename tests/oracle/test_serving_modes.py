@@ -1,0 +1,461 @@
+"""Cross-mode serving conformance: threaded, async, and pre-fork.
+
+One parametrized fixture boots the same tiny artifact behind each
+serving mode; every conformance test then runs against all three, so
+the route surface, the structured error contract (including the 413
+body-size limit and strict-boolean validation), keep-alive
+pipelining, concurrency, and metrics accounting are pinned as
+*mode-independent* behavior.  A separate test drives a golden request
+set through all modes at once and asserts the response bodies are
+byte-identical — the serving tier's core contract (the bodies are
+produced once, in :class:`OracleApp`).
+"""
+
+import http.client
+import json
+import multiprocessing
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.analysis.exact import settlement_violation_probability
+from repro.oracle.aioserver import AsyncHTTPServer
+from repro.oracle.app import OracleApp
+from repro.oracle.server import make_listening_socket, make_server
+from repro.oracle.service import SettlementOracle
+from repro.oracle.store import save_tables
+from repro.oracle.tables import (
+    OracleSpec,
+    build_tables,
+    effective_probabilities,
+)
+
+SPEC = OracleSpec(
+    alphas=(0.1, 0.2),
+    unique_fractions=(0.5, 1.0),
+    deltas=(0, 2),
+    depths=(5, 10),
+    targets=(1e-1, 1e-2),
+    activity=0.05,
+)
+
+#: Small cap so the 413 path is cheap to exercise.
+SMALL_BODY_LIMIT = 64 * 1024
+
+MODES = ("threaded", "async", "prefork")
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("serving-artifact")
+    save_tables(build_tables(SPEC).tables, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def oracle(artifact_dir):
+    return SettlementOracle.load(artifact_dir)
+
+
+def _prefork_worker(artifact_dir, sock, index):
+    worker_oracle = SettlementOracle.load(str(artifact_dir))
+    app = OracleApp(
+        worker_oracle,
+        worker_label=str(index),
+        max_body_bytes=SMALL_BODY_LIMIT,
+    )
+    AsyncHTTPServer(app, sock=sock).run()
+
+
+def _wait_ready(address, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            connection = http.client.HTTPConnection(*address, timeout=5)
+            connection.request("GET", "/healthz")
+            if connection.getresponse().status == 200:
+                connection.close()
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise RuntimeError(f"server at {address} never became ready")
+
+
+def _boot(mode, oracle, artifact_dir):
+    """Start one serving mode; returns ``(address, stop)``."""
+    if mode == "threaded":
+        server = make_server(oracle, max_body_bytes=SMALL_BODY_LIMIT)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+
+        def stop():
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+        return server.server_address[:2], stop
+    if mode == "async":
+        server = AsyncHTTPServer(
+            OracleApp(oracle, max_body_bytes=SMALL_BODY_LIMIT)
+        ).start()
+        return tuple(server.server_address[:2]), server.shutdown
+    assert mode == "prefork"
+    sock = make_listening_socket()
+    address = sock.getsockname()[:2]
+    context = multiprocessing.get_context("fork")
+    workers = [
+        context.Process(
+            target=_prefork_worker,
+            args=(artifact_dir, sock, index),
+            daemon=True,
+        )
+        for index in range(2)
+    ]
+    for worker in workers:
+        worker.start()
+    sock.close()
+    _wait_ready(address)
+
+    def stop():
+        for worker in workers:
+            worker.terminate()
+        for worker in workers:
+            worker.join(timeout=10)
+
+    return address, stop
+
+
+@pytest.fixture(scope="module", params=MODES)
+def served(request, oracle, artifact_dir):
+    address, stop = _boot(request.param, oracle, artifact_dir)
+    yield request.param, address
+    stop()
+
+
+def _exchange(address, method, target, body=None, headers=()):
+    """One request on a fresh connection; returns ``(status, bytes)``."""
+    connection = http.client.HTTPConnection(*address, timeout=10)
+    try:
+        connection.request(method, target, body=body, headers=dict(headers))
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _get(address, target):
+    return _exchange(address, "GET", target)
+
+
+def _post(address, target, payload):
+    return _exchange(
+        address,
+        "POST",
+        target,
+        body=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+
+
+GOOD_BATCH = {
+    "alpha": [0.1, 0.2, 0.13],
+    "unique_fraction": [1.0, 0.5, 0.8],
+    "delta": [0, 2, 1],
+    "depth": [5, 10, 7],
+}
+
+
+class TestConformance:
+    def test_healthz(self, served):
+        _, address = served
+        status, body = _get(address, "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["cells"] == 16
+        assert payload["overlay_cells"] == 0
+
+    def test_scalar_violation_matches_dp(self, served):
+        _, address = served
+        status, body = _get(
+            address,
+            "/v1/violation?alpha=0.2&unique_fraction=1.0&delta=0&depth=10",
+        )
+        assert status == 200
+        law = effective_probabilities(0.2, 1.0, 0, SPEC.activity)
+        assert json.loads(body)["violation_probability"] == (
+            settlement_violation_probability(law, 10)
+        )
+
+    def test_scalar_depth(self, served):
+        _, address = served
+        status, body = _get(
+            address,
+            "/v1/depth?alpha=0.1&unique_fraction=1.0&delta=0&target=0.1",
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["source"] in ("table", "analytic")
+        assert payload["depth"] >= 1
+
+    def test_batch_violation(self, served):
+        _, address = served
+        status, body = _post(address, "/v1/violation", GOOD_BATCH)
+        assert status == 200
+        values = json.loads(body)["violation_probability"]
+        assert len(values) == 3
+        assert all(0.0 <= value <= 1.0 for value in values)
+
+    def test_batch_depth(self, served):
+        _, address = served
+        status, body = _post(
+            address,
+            "/v1/depth",
+            {
+                "alpha": [0.1],
+                "unique_fraction": [1.0],
+                "delta": [0],
+                "target": [0.1],
+            },
+        )
+        assert status == 200
+        assert isinstance(json.loads(body)["depth"][0], int)
+
+    def test_out_of_domain_is_400(self, served):
+        _, address = served
+        status, body = _get(
+            address,
+            "/v1/violation?alpha=0.49&unique_fraction=1.0&delta=0&depth=10",
+        )
+        assert status == 400
+        assert json.loads(body)["error"] == "out-of-domain"
+
+    def test_missing_parameter_is_400(self, served):
+        _, address = served
+        status, body = _get(address, "/v1/violation?alpha=0.1")
+        assert status == 400
+        assert json.loads(body)["error"] == "bad-request"
+
+    def test_unknown_path_is_404(self, served):
+        _, address = served
+        status, body = _get(address, "/v2/nothing")
+        assert status == 404
+        assert json.loads(body)["error"] == "not-found"
+
+    def test_malformed_json_is_400(self, served):
+        _, address = served
+        status, body = _exchange(
+            address, "POST", "/v1/violation", body=b"{not json"
+        )
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["error"] == "bad-request"
+        assert "bad request body" in payload["detail"]
+
+    def test_non_boolean_strict_is_400(self, served):
+        _, address = served
+        status, body = _post(
+            address, "/v1/violation", {**GOOD_BATCH, "strict": "false"}
+        )
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["error"] == "bad-request"
+        assert "JSON boolean" in payload["detail"]
+
+    def test_oversized_body_is_structured_413(self, served):
+        """The limit is enforced on the Content-Length header *before*
+        the body is read: the huge body is never sent, yet the 413
+        arrives immediately and the connection closes."""
+        _, address = served
+        huge = SMALL_BODY_LIMIT * 64
+        with socket.create_connection(address, timeout=10) as raw:
+            raw.sendall(
+                b"POST /v1/violation HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {huge}\r\n\r\n".encode()
+            )
+            raw.settimeout(10)
+            data = b""
+            while b"\r\n\r\n" not in data or not data.split(
+                b"\r\n\r\n", 1
+            )[1]:
+                chunk = raw.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert b" 413 " in head.split(b"\r\n", 1)[0]
+        payload = json.loads(body)
+        assert payload["error"] == "too-large"
+        assert str(huge) in payload["detail"]
+
+    def test_bad_content_length_is_400(self, served):
+        _, address = served
+        with socket.create_connection(address, timeout=10) as raw:
+            raw.sendall(
+                b"POST /v1/violation HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: banana\r\n\r\n"
+            )
+            raw.settimeout(10)
+            data = b""
+            while True:  # the server closes after responding
+                chunk = raw.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        assert b" 400 " in data.split(b"\r\n", 1)[0]
+        assert b'"bad-request"' in data
+
+    def test_keep_alive_pipelining(self, served):
+        """Two requests written back-to-back on one connection get two
+        in-order responses on that same connection."""
+        _, address = served
+        request = (
+            b"GET /v1/violation?alpha=0.2&unique_fraction=1.0&delta=0"
+            b"&depth=10 HTTP/1.1\r\nHost: test\r\n\r\n"
+        )
+        with socket.create_connection(address, timeout=10) as raw:
+            raw.sendall(request + request)
+            raw.settimeout(10)
+            data = b""
+            deadline = time.monotonic() + 10
+            while (
+                data.count(b'"violation_probability"') < 2
+                and time.monotonic() < deadline
+            ):
+                chunk = raw.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        assert data.count(b"HTTP/1.1 200") == 2
+        assert data.count(b'"violation_probability"') == 2
+
+    def test_concurrent_clients_agree(self, served):
+        _, address = served
+        expected = _get(
+            address,
+            "/v1/violation?alpha=0.2&unique_fraction=1.0&delta=0&depth=10",
+        )
+        results = []
+        errors = []
+
+        def client():
+            try:
+                results.append(
+                    _get(
+                        address,
+                        "/v1/violation?alpha=0.2&unique_fraction=1.0"
+                        "&delta=0&depth=10",
+                    )
+                )
+            except Exception as error:  # surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(results) == 8
+        assert all(result == expected for result in results)
+
+    def test_metrics_accounting(self, served):
+        """Requests made on one keep-alive connection land in that
+        process's registry; /metrics on the same connection shows them
+        (and, in pre-fork mode, the worker label)."""
+        mode, address = served
+        connection = http.client.HTTPConnection(*address, timeout=10)
+        try:
+            connection.request(
+                "GET",
+                "/v1/violation?alpha=0.2&unique_fraction=1.0&delta=0"
+                "&depth=10",
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()
+            connection.request("GET", "/v1/violation?alpha=0.1")
+            response = connection.getresponse()
+            assert response.status == 400
+            response.read()
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode()
+        finally:
+            connection.close()
+        assert "# TYPE repro_oracle_requests_total counter" in text
+        assert 'route="/v1/violation"' in text
+        assert 'repro_oracle_errors_total{code="400"' in text
+        assert "# TYPE repro_oracle_request_seconds histogram" in text
+        if mode == "prefork":
+            assert 'worker="' in text
+
+
+GOLDEN_REQUESTS = (
+    ("GET", "/healthz", None),
+    (
+        "GET",
+        "/v1/violation?alpha=0.2&unique_fraction=1.0&delta=0&depth=10",
+        None,
+    ),
+    (
+        "GET",
+        "/v1/violation?alpha=0.13&unique_fraction=0.8&delta=1&depth=7",
+        None,
+    ),
+    ("GET", "/v1/depth?alpha=0.1&unique_fraction=1.0&delta=0&target=0.1", None),
+    ("GET", "/v1/violation?alpha=0.49&unique_fraction=1.0&delta=0&depth=10", None),
+    ("GET", "/v1/violation?alpha=0.1", None),
+    ("GET", "/v2/nothing", None),
+    ("POST", "/v1/violation", GOOD_BATCH),
+    (
+        "POST",
+        "/v1/depth",
+        {
+            "alpha": [0.1, 0.2],
+            "unique_fraction": [1.0, 0.5],
+            "delta": [0, 2],
+            "target": [0.1, 0.01],
+        },
+    ),
+    ("POST", "/v1/violation", {**GOOD_BATCH, "strict": "oops"}),
+    ("POST", "/v1/violation", {"alpha": [0.1]}),
+    ("POST", "/v1/violation", b"{broken"),
+)
+
+
+def test_golden_set_is_byte_identical_across_modes(oracle, artifact_dir):
+    """Every serving mode returns the same bytes for the same request —
+    successes and every error kind alike."""
+    booted = {
+        mode: _boot(mode, oracle, artifact_dir) for mode in MODES
+    }
+    try:
+        transcripts = {}
+        for mode, (address, _) in booted.items():
+            exchanges = []
+            for method, target, payload in GOLDEN_REQUESTS:
+                if payload is None:
+                    exchanges.append(_exchange(address, method, target))
+                elif isinstance(payload, bytes):
+                    exchanges.append(
+                        _exchange(address, method, target, body=payload)
+                    )
+                else:
+                    exchanges.append(_post(address, target, payload))
+            transcripts[mode] = exchanges
+    finally:
+        for _, stop in booted.values():
+            stop()
+    threaded = transcripts["threaded"]
+    for mode in ("async", "prefork"):
+        assert transcripts[mode] == threaded, (
+            f"{mode} responses diverge from threaded"
+        )
